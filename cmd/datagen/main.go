@@ -1,0 +1,123 @@
+// Command datagen generates the synthetic and simulated-real datasets of
+// the evaluation.
+//
+// Usage:
+//
+//	datagen -dataset quest -d 10000 -c 10 -n 100 -out d10k.csv
+//	datagen -dataset asl -size 400 -format lines -out asl.lines
+//
+// Datasets: quest (Quest-style synthetic), asl, stock, patient, library
+// (the simulated real-world workloads). All generators are deterministic
+// per -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tpminer/internal/dataio"
+	"tpminer/internal/gen"
+	"tpminer/internal/interval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataset = fs.String("dataset", "quest", "quest, asl, stock, patient, or library")
+		d       = fs.Int("d", 1000, "quest: number of sequences |D|")
+		c       = fs.Int("c", 10, "quest: average intervals per sequence |C|")
+		n       = fs.Int("n", 100, "quest: alphabet size |N|")
+		size    = fs.Int("size", 400, "asl/stock/patient/library: number of sequences")
+		seed    = fs.Int64("seed", 42, "random seed")
+		format  = fs.String("format", "", "output format: csv or lines (default: by extension, else csv)")
+		out     = fs.String("out", "", "output file (default: stdout)")
+		quiet   = fs.Bool("q", false, "suppress the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		db   *interval.Database
+		note string
+	)
+	switch *dataset {
+	case "quest":
+		cfg := gen.QuestConfig{NumSequences: *d, AvgIntervals: *c, NumSymbols: *n, Seed: *seed}
+		qdb, planted, err := gen.Quest(cfg)
+		if err != nil {
+			return err
+		}
+		db = qdb
+		note = fmt.Sprintf("%s, %d planted arrangements", cfg.Name(), len(planted))
+	case "asl":
+		adb, wh, neg, topic := gen.ASL(gen.ASLConfig{NumUtterances: *size, Seed: *seed})
+		db = adb
+		note = fmt.Sprintf("wh=%d neg=%d topic=%d", wh, neg, topic)
+	case "stock":
+		sdb, rallies, selloffs := gen.Stock(gen.StockConfig{NumWindows: *size, Seed: *seed})
+		db = sdb
+		note = fmt.Sprintf("rallies=%d selloffs=%d", rallies, selloffs)
+	case "patient":
+		pdb, episodes := gen.Patients(gen.PatientConfig{NumPatients: *size, Seed: *seed})
+		db = pdb
+		var parts []string
+		for _, e := range episodes {
+			parts = append(parts, fmt.Sprintf("%s x%d", e.Pattern, e.Embeddings))
+		}
+		note = "episodes: " + strings.Join(parts, "; ")
+	case "library":
+		ldb, students, series := gen.Library(gen.LibraryConfig{NumBorrowers: *size, Seed: *seed})
+		db = ldb
+		note = fmt.Sprintf("students=%d series-readers=%d", students, series)
+	default:
+		return fmt.Errorf("unknown -dataset %q", *dataset)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "" {
+		if strings.HasSuffix(*out, ".lines") {
+			*format = "lines"
+		} else {
+			*format = "csv"
+		}
+	}
+	switch *format {
+	case "csv":
+		if err := dataio.WriteCSV(w, db); err != nil {
+			return err
+		}
+	case "lines":
+		if err := dataio.WriteLines(w, db); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (want csv or lines)", *format)
+	}
+
+	if !*quiet {
+		st := db.Summarize()
+		fmt.Fprintf(stderr, "datagen: %s: %d sequences, %d intervals, %d symbols (%s)\n",
+			*dataset, st.Sequences, st.Intervals, st.Symbols, note)
+	}
+	return nil
+}

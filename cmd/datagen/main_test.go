@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tpminer/internal/dataio"
+)
+
+func TestDatagenQuestCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-dataset", "quest", "-d", "30", "-c", "5", "-n", "10"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataio.ReadCSV(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if db.Len() != 30 {
+		t.Errorf("sequences = %d", db.Len())
+	}
+	if !strings.Contains(errw.String(), "30 sequences") {
+		t.Errorf("summary missing: %q", errw.String())
+	}
+}
+
+func TestDatagenAllDatasetsAndFormats(t *testing.T) {
+	for _, ds := range []string{"asl", "stock", "patient", "library"} {
+		for _, format := range []string{"csv", "lines"} {
+			var out, errw bytes.Buffer
+			args := []string{"-dataset", ds, "-size", "20", "-format", format, "-q"}
+			if err := run(args, &out, &errw); err != nil {
+				t.Fatalf("%s/%s: %v", ds, format, err)
+			}
+			var err error
+			if format == "csv" {
+				_, err = dataio.ReadCSV(strings.NewReader(out.String()))
+			} else {
+				_, err = dataio.ReadLines(strings.NewReader(out.String()))
+			}
+			if err != nil {
+				t.Errorf("%s/%s output not parseable: %v", ds, format, err)
+			}
+			if errw.Len() != 0 {
+				t.Errorf("%s/%s: -q still printed %q", ds, format, errw.String())
+			}
+		}
+	}
+}
+
+func TestDatagenToFileWithExtensionDetection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.lines")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-dataset", "quest", "-d", "5", "-out", path, "-q"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataio.ReadLines(bytes.NewReader(data)); err != nil {
+		t.Errorf("extension-detected lines format not parseable: %v", err)
+	}
+}
+
+func TestDatagenDeterministic(t *testing.T) {
+	gen := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-dataset", "asl", "-size", "10", "-seed", "3", "-q"}, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dataset", "bogus"},
+		{"-dataset", "quest", "-format", "bogus"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command experiments runs the evaluation suite and prints every table
+// and figure series of the reproduction (see DESIGN.md, "Evaluation
+// plan", and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments                   # full suite at paper scale
+//	experiments -quick            # scaled-down suite (seconds)
+//	experiments -exp fig1a,fig3   # selected experiments
+//	experiments -csv              # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tpminer/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exps  = fs.String("exp", "all", "comma-separated experiment ids: fig1a,fig1b,fig2a,fig2b,fig3,tab1,tab2,tab3,ext1 or all")
+		quick = fs.Bool("quick", false, "run at quick scale (seconds instead of minutes)")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed  = fs.Int64("seed", 42, "random seed for all workloads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := experiment.Paper
+	if *quick {
+		sc = experiment.Quick
+	}
+	sc.Seed = *seed
+
+	type runner func() (*experiment.Table, error)
+	all := map[string]runner{
+		"fig1a": func() (*experiment.Table, error) { return experiment.Fig1a(sc) },
+		"fig1b": func() (*experiment.Table, error) { return experiment.Fig1b(sc) },
+		"fig2a": func() (*experiment.Table, error) { return experiment.Fig2a(sc) },
+		"fig2b": func() (*experiment.Table, error) { return experiment.Fig2b(sc) },
+		"fig3":  func() (*experiment.Table, error) { return experiment.Fig3(sc) },
+		"tab1":  func() (*experiment.Table, error) { return experiment.Tab1(sc) },
+		"tab2":  func() (*experiment.Table, error) { return experiment.Tab2(sc.Seed, *quick) },
+		"tab3":  func() (*experiment.Table, error) { return experiment.Tab3(sc.Seed, *quick, 5) },
+		"ext1":  func() (*experiment.Table, error) { return experiment.Ext1(sc) },
+	}
+	order := []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "tab1", "tab2", "tab3", "ext1"}
+
+	var selected []string
+	if *exps == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := all[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (want one of %s)", id, strings.Join(order, ", "))
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	fmt.Fprintf(stderr, "experiments: scale=%s seed=%d\n", sc.Name, sc.Seed)
+	for _, id := range selected {
+		tbl, err := all[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			fmt.Fprintf(stdout, "# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Fprintf(stdout, "%s\n", tbl.Format())
+		}
+	}
+	return nil
+}

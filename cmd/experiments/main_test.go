@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsSelected(t *testing.T) {
+	var out, errw bytes.Buffer
+	// fig2b at quick scale is the cheapest single experiment.
+	if err := run([]string{"-quick", "-exp", "fig2b"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 2b") {
+		t.Errorf("missing table title:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "scale=quick") {
+		t.Errorf("missing scale banner: %q", errw.String())
+	}
+}
+
+func TestExperimentsCSVOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "fig2b", "-csv"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|C|,P-TPMiner(ms)") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &out, &errw); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsMultipleIDs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "fig2b,tab2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 2b", "Tab 2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command tpmd runs the mining HTTP service.
+//
+//	tpmd -addr :8080
+//
+// Endpoints (see internal/server for the full API):
+//
+//	PUT    /datasets/{name}        upload a dataset (csv/lines/json body)
+//	POST   /datasets/{name}/mine   mine patterns, JSON request/response
+//	POST   /datasets/{name}/rules  derive temporal association rules
+//
+// Example session:
+//
+//	go run ./cmd/datagen -dataset patient -size 200 -q | \
+//	    curl -sS -X PUT --data-binary @- -H 'Content-Type: text/csv' \
+//	         localhost:8080/datasets/patients
+//	curl -sS localhost:8080/datasets/patients/mine \
+//	     -d '{"min_support":0.15,"max_intervals":3}' | jq .
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"tpminer/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tpmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpmd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "tpmd: ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(logger).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

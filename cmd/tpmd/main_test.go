@@ -1,0 +1,26 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagError(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunListenError(t *testing.T) {
+	// Occupy a port so ListenAndServe fails immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run([]string{"-addr", ln.Addr().String()})
+	if err == nil || !strings.Contains(err.Error(), "address already in use") {
+		t.Errorf("expected bind failure, got %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Gesture: compare the two pattern types on sign-language-like data,
+// where facial grammar markers span several manual signs — the workload
+// family (ASL corpora) that motivated interval-based mining.
+//
+// The endpoint (temporal) view shows *how* a marker relates to the signs
+// it scopes over (overlaps, contains, co-starts); the coincidence view
+// shows only *that* they co-occur. Running both on the same utterances
+// makes the difference concrete.
+//
+//	go run ./examples/gesture
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"tpminer"
+)
+
+const utterances = 300
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	db := &tpminer.Database{}
+	for u := 0; u < utterances; u++ {
+		db.Sequences = append(db.Sequences, utterance(rng, u))
+	}
+
+	// A specific (marker, sign-word) arrangement is rarer than the bare
+	// co-occurrence, so the temporal view uses a lower threshold.
+	opt := tpminer.Options{MinSupport: 0.06, MaxIntervals: 2}
+	temporal, _, err := tpminer.MineTemporalPatterns(db, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coinc, _, err := tpminer.MineCoincidencePatterns(db, tpminer.Options{
+		MinSupport: 0.15, MaxElements: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d utterances; %d temporal patterns at 6%%, %d coincidence patterns at 15%%\n\n",
+		utterances, len(temporal), len(coinc))
+
+	fmt.Println("marker-sign arrangements (temporal view — the relation is explicit):")
+	shown := 0
+	for _, r := range temporal {
+		if !mixesMarkerAndSign(r.Pattern) {
+			continue
+		}
+		fmt.Printf("  %3d  %-36s %s\n", r.Support, r.Pattern.String(), r.Pattern.RelationSummary())
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+
+	fmt.Println("\nmarker-sign co-occurrences (coincidence view — relation is lost):")
+	shown = 0
+	for _, r := range coinc {
+		if !coincMixes(r.Pattern) {
+			continue
+		}
+		fmt.Printf("  %3d  %s\n", r.Support, r.Pattern)
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+}
+
+// utterance builds one simulated utterance: consecutive manual signs
+// plus facial grammar markers that span them.
+func utterance(rng *rand.Rand, id int) tpminer.Sequence {
+	nSigns := 3 + rng.Intn(4)
+	var ivs []tpminer.Interval
+	t := int64(2)
+	spans := make([][2]int64, nSigns)
+	for i := 0; i < nSigns; i++ {
+		dur := 3 + rng.Int63n(6)
+		ivs = append(ivs, tpminer.Interval{
+			Symbol: fmt.Sprintf("sign.w%d", rng.Intn(12)),
+			Start:  t, End: t + dur,
+		})
+		spans[i] = [2]int64{t, t + dur}
+		t += dur + rng.Int63n(2)
+	}
+	// wh-question: marker overlaps the last sign and extends past it.
+	if rng.Float64() < 0.4 {
+		ivs = append(ivs, tpminer.Interval{
+			Symbol: "face.wh",
+			Start:  spans[nSigns-1][0] + 1,
+			End:    spans[nSigns-1][1] + 2,
+		})
+	}
+	// negation: head shake contains one middle sign.
+	if rng.Float64() < 0.3 {
+		i := rng.Intn(nSigns)
+		ivs = append(ivs, tpminer.Interval{
+			Symbol: "face.neg",
+			Start:  spans[i][0] - 1,
+			End:    spans[i][1] + 1,
+		})
+	}
+	return tpminer.Sequence{ID: fmt.Sprintf("utt%03d", id), Intervals: ivs}
+}
+
+func mixesMarkerAndSign(p tpminer.TemporalPattern) bool {
+	var face, sign bool
+	for _, el := range p.Elements {
+		for _, e := range el {
+			if strings.HasPrefix(e.Symbol, "face.") {
+				face = true
+			}
+			if strings.HasPrefix(e.Symbol, "sign.") {
+				sign = true
+			}
+		}
+	}
+	return face && sign
+}
+
+func coincMixes(p tpminer.CoincidencePattern) bool {
+	var face, sign bool
+	for _, el := range p.Elements {
+		for _, s := range el {
+			if strings.HasPrefix(s, "face.") {
+				face = true
+			}
+			if strings.HasPrefix(s, "sign.") {
+				sign = true
+			}
+		}
+	}
+	return face && sign
+}

@@ -1,0 +1,117 @@
+// Monitoring: mine one long operations timeline — a single trace, not a
+// database — by slicing it into sliding windows, then visualize the
+// strongest arrangements as ASCII timelines.
+//
+// The simulated trace interleaves deploy windows, error-rate spikes,
+// pager incidents, and autoscaling events over 30 days of minutes. The
+// planted causal chain is: a deploy overlaps an error spike, which is
+// followed by a pager incident, during which autoscaling runs. Support
+// counts 12-hour windows, so "support 40" reads "this arrangement
+// occurred in 40 half-day windows".
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tpminer"
+)
+
+const (
+	day     = int64(24 * 60) // minutes
+	horizon = 30 * day
+)
+
+func main() {
+	trace := simulateTrace(rand.New(rand.NewSource(11)))
+	fmt.Printf("trace: %d intervals over %d days\n\n", len(trace.Intervals), horizon/day)
+
+	// Slice into overlapping 12-hour windows, advancing by 6 hours.
+	windows, err := tpminer.SlideWindows(trace, tpminer.WindowConfig{
+		Width:     12 * 60,
+		Stride:    6 * 60,
+		Policy:    tpminer.WindowWholeIfStarts,
+		DropEmpty: false,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sliced into %d windows of 12h (stride 6h)\n\n", windows.Len())
+
+	// Top arrangements across windows, at most 3 intervals each.
+	results, _, err := tpminer.MineTopKTemporalPatterns(windows, 25, tpminer.Options{
+		MaxIntervals: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("strongest multi-event arrangements across windows:")
+	shown := 0
+	for _, r := range results {
+		if r.Pattern.NumIntervals() < 2 {
+			continue
+		}
+		fmt.Printf("\nin %d windows: %s\n", r.Support, r.Pattern.RelationSummary())
+		fmt.Print(tpminer.RenderPattern(r.Pattern, tpminer.RenderOptions{Width: 44}))
+		if shown++; shown >= 4 {
+			break
+		}
+	}
+
+	// Zoom into one raw incident for context.
+	fmt.Println("\nfirst day of the raw trace:")
+	firstDay := tpminer.Sequence{ID: "day0"}
+	for _, iv := range trace.Intervals {
+		if iv.Start < day {
+			firstDay.Intervals = append(firstDay.Intervals, iv)
+		}
+	}
+	fmt.Print(tpminer.RenderSequence(firstDay, tpminer.RenderOptions{Width: 60}))
+}
+
+// simulateTrace builds the 30-day operations timeline.
+func simulateTrace(rng *rand.Rand) tpminer.Sequence {
+	trace := tpminer.Sequence{ID: "ops"}
+	add := func(sym string, start, dur int64) {
+		if start < 0 {
+			start = 0
+		}
+		end := start + dur
+		if end > horizon {
+			end = horizon
+		}
+		if end <= start {
+			return
+		}
+		trace.Intervals = append(trace.Intervals, tpminer.Interval{Symbol: sym, Start: start, End: end})
+	}
+
+	// Deploys: 1-3 per day; a third of them go bad.
+	for d := int64(0); d < 30; d++ {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			t := d*day + rng.Int63n(day-120)
+			add("deploy", t, 20+rng.Int63n(40))
+			if rng.Float64() < 0.35 {
+				// The planted incident chain.
+				spike := t + 10 + rng.Int63n(15)
+				add("errors", spike, 60+rng.Int63n(90))
+				page := spike + 70 + rng.Int63n(60)
+				add("pager", page, 30+rng.Int63n(45))
+				add("autoscale", page+5, 15+rng.Int63n(15))
+			}
+		}
+	}
+	// Background noise: scheduled jobs and unrelated blips.
+	for i := 0; i < 120; i++ {
+		add("cronjob", rng.Int63n(horizon), 10+rng.Int63n(30))
+	}
+	for i := 0; i < 25; i++ {
+		add("errors", rng.Int63n(horizon), 20+rng.Int63n(40))
+	}
+	trace.Normalize()
+	return trace
+}

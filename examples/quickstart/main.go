@@ -1,0 +1,69 @@
+// Quickstart: build a tiny interval database in code, mine both pattern
+// types, and read the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpminer"
+)
+
+func main() {
+	// Three monitoring traces. Each interval is (symbol, start, end):
+	// "deploy" spans overlap "errors" spikes in two of them.
+	db := tpminer.NewDatabase(
+		[]tpminer.Interval{
+			{Symbol: "deploy", Start: 0, End: 30},
+			{Symbol: "errors", Start: 20, End: 50},
+			{Symbol: "pager", Start: 45, End: 60},
+		},
+		[]tpminer.Interval{
+			{Symbol: "deploy", Start: 100, End: 140},
+			{Symbol: "errors", Start: 120, End: 170},
+			{Symbol: "pager", Start: 165, End: 180},
+		},
+		[]tpminer.Interval{
+			{Symbol: "deploy", Start: 10, End: 40},
+			{Symbol: "errors", Start: 80, End: 90},
+		},
+	)
+
+	// Temporal patterns: exact arrangements, at least 2 of 3 traces.
+	results, stats, err := tpminer.MineTemporalPatterns(db, tpminer.Options{MinSupport: 0.66})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("temporal patterns (%d, mined in %s):\n", len(results), stats.Elapsed)
+	for _, r := range results {
+		fmt.Printf("  %d/3  %-40s %s\n", r.Support, r.Pattern.String(), r.Pattern.RelationSummary())
+	}
+
+	// Coincidence patterns: what is active at the same time, in order.
+	coinc, _, err := tpminer.MineCoincidencePatterns(db, tpminer.Options{MinSupport: 0.66})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoincidence patterns (%d, top 10 shown):\n", len(coinc))
+	for i, r := range coinc {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %d/3  %s\n", r.Support, r.Pattern)
+	}
+
+	// Check a specific hypothesis: does "deploy overlaps errors" hold
+	// often? Build the pattern from text and count its support.
+	p, err := tpminer.ParseTemporalPattern("deploy+ errors+ deploy- errors-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := tpminer.Support(db, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%q (%s) holds in %d of %d traces\n",
+		p.String(), p.RelationSummary(), sup, db.Len())
+}

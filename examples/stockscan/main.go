@@ -1,0 +1,143 @@
+// Stockscan: mine co-movement arrangements from simulated stock trend
+// intervals — the market case study of the paper's practicability claim.
+//
+// One sequence per trading month; intervals are maximal runs of rising
+// ("T<i>.up") or falling ("T<i>.down") days per ticker. Roughly a third
+// of the months are market-wide rallies or sell-offs, so same-direction
+// trend intervals across tickers overlap; the miner should surface that
+// structure without being told.
+//
+//	go run ./examples/stockscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"tpminer"
+)
+
+const (
+	months  = 300
+	tickers = 5
+	days    = 22
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7)) // deterministic demo
+	db := &tpminer.Database{}
+	regimes := 0
+	for m := 0; m < months; m++ {
+		bias := 0.0
+		if rng.Float64() < 0.35 {
+			bias = 0.9 // market-wide rally this month
+			regimes++
+		}
+		var ivs []tpminer.Interval
+		for tk := 0; tk < tickers; tk++ {
+			ivs = append(ivs, trendIntervals(rng, fmt.Sprintf("T%d", tk), bias)...)
+		}
+		seq := tpminer.Sequence{ID: fmt.Sprintf("month%03d", m), Intervals: ivs}
+		db.Sequences = append(db.Sequences, seq)
+	}
+	fmt.Printf("%d months (%d with a planted rally), %d trend intervals\n\n",
+		months, regimes, db.NumIntervals())
+
+	// Coincidence view first: which trend combinations are co-active?
+	coinc, _, err := tpminer.MineCoincidencePatterns(db, tpminer.Options{
+		MinSupport:  0.25,
+		MaxElements: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top co-active trend sets (coincidence patterns):")
+	shown := 0
+	for _, r := range coinc {
+		// Keep only genuinely co-active sets: one element holding two
+		// or more distinct trend symbols.
+		if r.Pattern.Len() != 1 || len(r.Pattern.Elements[0]) < 2 {
+			continue
+		}
+		fmt.Printf("  %3d months  %s\n", r.Support, r.Pattern)
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+
+	// Temporal view: exact arrangements between two tickers' up-trends.
+	temporal, _, err := tpminer.MineTemporalPatterns(db, tpminer.Options{
+		MinSupport:   0.2,
+		MaxIntervals: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop cross-ticker up-trend arrangements (temporal patterns):")
+	shown = 0
+	for _, r := range temporal {
+		if r.Pattern.NumIntervals() < 2 || !crossTickerUp(r) {
+			continue
+		}
+		fmt.Printf("  %3d months  %-34s %s\n", r.Support, r.Pattern.String(), r.Pattern.RelationSummary())
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+}
+
+// trendIntervals simulates one ticker-month and emits maximal up/down
+// run intervals (runs shorter than 2 days are ignored as noise).
+func trendIntervals(rng *rand.Rand, ticker string, bias float64) []tpminer.Interval {
+	var ivs []tpminer.Interval
+	emit := func(kind string, runStart, d int) {
+		if d-runStart >= 2 {
+			ivs = append(ivs, tpminer.Interval{
+				Symbol: ticker + "." + kind,
+				Start:  int64(runStart),
+				End:    int64(d - 1),
+			})
+		}
+	}
+	upStart, downStart := -1, -1
+	for d := 0; d <= days; d++ {
+		move := 0.0
+		if d < days {
+			move = rng.NormFloat64() + bias
+		}
+		if move > 0.1 {
+			if upStart < 0 {
+				upStart = d
+			}
+		} else if upStart >= 0 {
+			emit("up", upStart, d)
+			upStart = -1
+		}
+		if move < -0.1 {
+			if downStart < 0 {
+				downStart = d
+			}
+		} else if downStart >= 0 {
+			emit("down", downStart, d)
+			downStart = -1
+		}
+	}
+	return ivs
+}
+
+// crossTickerUp keeps patterns whose intervals are up-trends of two
+// different tickers.
+func crossTickerUp(r tpminer.TemporalResult) bool {
+	syms := make(map[string]bool)
+	for _, el := range r.Pattern.Elements {
+		for _, e := range el {
+			if !strings.HasSuffix(e.Symbol, ".up") {
+				return false
+			}
+			syms[e.Symbol] = true
+		}
+	}
+	return len(syms) == 2
+}

@@ -1,0 +1,3 @@
+module tpminer
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package coincidence implements the coincidence representation of
+// interval sequences, the second view mined by P-TPMiner.
+//
+// The timeline of a sequence is cut at every distinct endpoint time;
+// each resulting segment is labelled with the set of symbols whose
+// intervals are alive during it. The labelled segments, in order, form
+// the coincidence sequence. Where the endpoint representation preserves
+// the exact arrangement of every interval, the coincidence view answers
+// the coarser question "which symbol combinations are simultaneously
+// active, and in what order?" — the natural vocabulary for co-occurrence
+// patterns such as comorbidities or concurrent market regimes.
+//
+// Segments are half-open [Start, End) except that a point event (an
+// interval with zero duration) contributes a degenerate segment at its
+// instant. Consecutive segments with identical symbol sets (which arise
+// when one occurrence of a symbol ends exactly where another begins) are
+// merged, so a coincidence sequence never repeats the same set in
+// adjacent positions.
+package coincidence
+
+import (
+	"sort"
+	"strings"
+
+	"tpminer/internal/interval"
+)
+
+// Coincidence is one timeline segment: the set of symbols alive during
+// [Start, End]. Symbols is sorted and duplicate-free.
+type Coincidence struct {
+	Start   interval.Time
+	End     interval.Time
+	Symbols []string
+}
+
+// Has reports whether sym is alive during the segment.
+func (c Coincidence) Has(sym string) bool {
+	i := sort.SearchStrings(c.Symbols, sym)
+	return i < len(c.Symbols) && c.Symbols[i] == sym
+}
+
+// String renders the segment as "{A B}@[s,e]".
+func (c Coincidence) String() string {
+	return "{" + strings.Join(c.Symbols, " ") + "}@[" +
+		itoa(c.Start) + "," + itoa(c.End) + "]"
+}
+
+func itoa(t interval.Time) string {
+	// Small local helper; strconv.FormatInt kept out of the hot path
+	// callers by String being debug-only.
+	if t == 0 {
+		return "0"
+	}
+	neg := t < 0
+	if neg {
+		t = -t
+	}
+	var buf [20]byte
+	i := len(buf)
+	for t > 0 {
+		i--
+		buf[i] = byte('0' + t%10)
+		t /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Transform computes the coincidence sequence of an interval sequence.
+// The input is not modified. Sequences with no intervals yield nil.
+func Transform(s interval.Sequence) ([]Coincidence, error) {
+	if err := s.Valid(); err != nil {
+		return nil, err
+	}
+	if len(s.Intervals) == 0 {
+		return nil, nil
+	}
+
+	// Collect the distinct cut times: every start and every end.
+	cutSet := make(map[interval.Time]struct{}, 2*len(s.Intervals))
+	for _, iv := range s.Intervals {
+		cutSet[iv.Start] = struct{}{}
+		cutSet[iv.End] = struct{}{}
+	}
+	cuts := make([]interval.Time, 0, len(cutSet))
+	for t := range cutSet {
+		cuts = append(cuts, t)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	// For each elementary segment [cuts[i], cuts[i+1]] determine the
+	// alive symbol set. An interval [a,b] is alive on segment [x,y]
+	// (x < y) iff a <= x && y <= b. Point events are handled as
+	// degenerate segments at their instant.
+	var out []Coincidence
+	appendSeg := func(start, end interval.Time, syms []string) {
+		if len(syms) == 0 {
+			return
+		}
+		if n := len(out); n > 0 && equalStrings(out[n-1].Symbols, syms) {
+			out[n-1].End = end
+			return
+		}
+		out = append(out, Coincidence{Start: start, End: end, Symbols: syms})
+	}
+
+	// Degenerate segments for point events and cut instants: a symbol is
+	// alive "at" time t iff some interval has Start <= t <= End. To keep
+	// the representation compact we only materialize proper segments
+	// between consecutive cuts, plus instant segments for cut times that
+	// carry point events not covered by a proper segment on either side
+	// with the same alive set. In practice the proper segments capture
+	// everything except isolated point events, which we handle below.
+	for i := 0; i+1 < len(cuts); i++ {
+		x, y := cuts[i], cuts[i+1]
+		syms := aliveOn(s.Intervals, x, y)
+		appendSeg(x, y, syms)
+	}
+
+	// Point events: proper segments cannot carry an interval [t,t], so
+	// each point event inserts a degenerate segment at its instant,
+	// labelled with everything alive at t (covering intervals included).
+	for _, iv := range s.Intervals {
+		if !iv.IsPoint() {
+			continue
+		}
+		pos := sort.Search(len(out), func(i int) bool {
+			if out[i].Start != iv.Start {
+				return out[i].Start > iv.Start
+			}
+			return out[i].End >= iv.Start // degenerate sorts before [t, >t]
+		})
+		if pos < len(out) && out[pos].Start == iv.Start && out[pos].End == iv.Start {
+			continue // already inserted for another point event at t
+		}
+		syms := aliveAt(s.Intervals, iv.Start)
+		out = append(out, Coincidence{})
+		copy(out[pos+1:], out[pos:])
+		out[pos] = Coincidence{Start: iv.Start, End: iv.Start, Symbols: syms}
+	}
+	return out, nil
+}
+
+// aliveOn returns the sorted distinct symbols alive on the whole proper
+// segment [x,y], x < y.
+func aliveOn(ivs []interval.Interval, x, y interval.Time) []string {
+	set := make(map[string]struct{})
+	for _, iv := range ivs {
+		if iv.Start <= x && y <= iv.End {
+			set[iv.Symbol] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// aliveAt returns the sorted distinct symbols alive at instant t.
+func aliveAt(ivs []interval.Interval, t interval.Time) []string {
+	set := make(map[string]struct{})
+	for _, iv := range ivs {
+		if iv.Start <= t && t <= iv.End {
+			set[iv.Symbol] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders a coincidence sequence as "{A} {A B} {B}".
+func Format(cs []Coincidence) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "{" + strings.Join(c.Symbols, " ") + "}"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,202 @@
+package coincidence
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpminer/internal/interval"
+)
+
+func seq(ivs ...interval.Interval) interval.Sequence {
+	return interval.Sequence{ID: "t", Intervals: ivs}
+}
+
+func TestTransformBasicOverlap(t *testing.T) {
+	// A[0,10] overlaps B[5,15]: segments {A} [0,5], {A B} [5,10], {B} [10,15].
+	cs, err := Transform(seq(
+		interval.Interval{Symbol: "A", Start: 0, End: 10},
+		interval.Interval{Symbol: "B", Start: 5, End: 15},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(cs); got != "{A} {A B} {B}" {
+		t.Errorf("Format = %q, cs = %v", got, cs)
+	}
+	if cs[0].Start != 0 || cs[0].End != 5 || cs[1].Start != 5 || cs[1].End != 10 {
+		t.Errorf("segment bounds: %v", cs)
+	}
+}
+
+func TestTransformDisjoint(t *testing.T) {
+	// Disjoint intervals: the gap produces no segment.
+	cs, err := Transform(seq(
+		interval.Interval{Symbol: "A", Start: 0, End: 2},
+		interval.Interval{Symbol: "B", Start: 10, End: 12},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(cs); got != "{A} {B}" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestTransformDuring(t *testing.T) {
+	// B during A: {A} {A B} {A}. Adjacent equal sets must NOT be merged
+	// across the B span (they differ), but the two {A} segments are
+	// separated by {A B} so all three remain.
+	cs, err := Transform(seq(
+		interval.Interval{Symbol: "A", Start: 0, End: 20},
+		interval.Interval{Symbol: "B", Start: 5, End: 10},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(cs); got != "{A} {A B} {A}" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestTransformMeetMergesEqualSets(t *testing.T) {
+	// Two A occurrences meeting at t=5: alive set is {A} throughout, so
+	// the segments merge into one.
+	cs, err := Transform(seq(
+		interval.Interval{Symbol: "A", Start: 0, End: 5},
+		interval.Interval{Symbol: "A", Start: 5, End: 10},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(cs); got != "{A}" {
+		t.Errorf("Format = %q, cs=%v", got, cs)
+	}
+	if cs[0].Start != 0 || cs[0].End != 10 {
+		t.Errorf("merged bounds: %v", cs[0])
+	}
+}
+
+func TestTransformPointEvents(t *testing.T) {
+	// An isolated point event yields a degenerate segment.
+	cs, err := Transform(seq(
+		interval.Interval{Symbol: "P", Start: 3, End: 3},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Start != 3 || cs[0].End != 3 || !cs[0].Has("P") {
+		t.Fatalf("point transform: %v", cs)
+	}
+
+	// A point event inside a proper interval inserts one degenerate
+	// segment at its instant, labelled with everything alive there.
+	cs, err = Transform(seq(
+		interval.Interval{Symbol: "A", Start: 0, End: 10},
+		interval.Interval{Symbol: "P", Start: 5, End: 5},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degen []Coincidence
+	for _, c := range cs {
+		if c.Start == c.End {
+			degen = append(degen, c)
+		}
+	}
+	if len(degen) != 1 || degen[0].Start != 5 || !degen[0].Has("P") || !degen[0].Has("A") {
+		t.Errorf("degenerate segments = %v (all: %v)", degen, cs)
+	}
+}
+
+func TestTransformEmptyAndInvalid(t *testing.T) {
+	cs, err := Transform(interval.Sequence{})
+	if err != nil || cs != nil {
+		t.Errorf("empty: %v, %v", cs, err)
+	}
+	if _, err := Transform(seq(interval.Interval{Symbol: "A", Start: 5, End: 1})); err == nil {
+		t.Error("Transform accepted invalid interval")
+	}
+}
+
+func TestCoincidenceHas(t *testing.T) {
+	c := Coincidence{Symbols: []string{"A", "C", "E"}}
+	for _, s := range []string{"A", "C", "E"} {
+		if !c.Has(s) {
+			t.Errorf("Has(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"B", "D", "F", ""} {
+		if c.Has(s) {
+			t.Errorf("Has(%q) = true", s)
+		}
+	}
+}
+
+// TestTransformInvariants checks structural invariants on random
+// sequences: segments ordered, non-empty, alive sets correct at segment
+// midpoints, and every interval visible in at least one segment.
+func TestTransformInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := interval.Sequence{}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			start := rng.Int63n(30)
+			s.Intervals = append(s.Intervals, interval.Interval{
+				Symbol: string(rune('A' + rng.Intn(4))),
+				Start:  start,
+				End:    start + rng.Int63n(15),
+			})
+		}
+		cs, err := Transform(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// aliveAtTime reports whether any interval of sym covers instant x.
+		aliveAtTime := func(sym string, x int64) bool {
+			for _, iv := range s.Intervals {
+				if iv.Symbol == sym && iv.Start <= x && x <= iv.End {
+					return true
+				}
+			}
+			return false
+		}
+		covered := make(map[string]bool)
+		for i, c := range cs {
+			if len(c.Symbols) == 0 {
+				t.Fatalf("empty segment %v", c)
+			}
+			if c.Start > c.End {
+				t.Fatalf("reversed segment %v", c)
+			}
+			if i > 0 && cs[i-1].Start > c.Start {
+				t.Fatalf("segments out of order: %v", cs)
+			}
+			// Every listed symbol must be alive at both segment bounds
+			// (merged segments may be covered by several meeting
+			// intervals of the same symbol, so a single-interval cover
+			// is not required).
+			for _, sym := range c.Symbols {
+				if !aliveAtTime(sym, c.Start) || !aliveAtTime(sym, c.End) {
+					t.Fatalf("segment %v lists dead symbol %s", c, sym)
+				}
+			}
+			// On proper segments, every symbol fully covering the
+			// segment must be listed.
+			if c.Start < c.End {
+				for _, iv := range s.Intervals {
+					if iv.Start <= c.Start && c.End <= iv.End && !c.Has(iv.Symbol) {
+						t.Fatalf("segment %v misses alive symbol %s", c, iv.Symbol)
+					}
+				}
+			}
+			for _, sym := range c.Symbols {
+				covered[sym] = true
+			}
+		}
+		for _, iv := range s.Intervals {
+			if !covered[iv.Symbol] {
+				t.Fatalf("symbol %s of %v not covered by any segment %v", iv.Symbol, s.Intervals, cs)
+			}
+		}
+	}
+}

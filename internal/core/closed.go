@@ -1,0 +1,125 @@
+package core
+
+import (
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// Closed- and maximal-pattern post-filters. These are extensions beyond
+// the two-page paper (flagged as such in DESIGN.md): result sets at low
+// support thresholds are dominated by sub-patterns of larger frequent
+// arrangements, and the standard condensed representations apply to
+// temporal patterns exactly as to classic sequences.
+//
+// Sub-pattern subsumption uses any-binding semantics: p ⊑ q when p's
+// arrangement embeds into q's arrangement (each p-interval mapped
+// injectively to a same-symbol q-interval, preserving the element
+// structure). This is checked by materializing q as a concrete interval
+// sequence over element indices and reusing pattern.ContainsAny.
+
+// patternAsSequence materializes a complete temporal pattern as the
+// concrete interval sequence in which element index serves as time.
+func patternAsSequence(q pattern.Temporal) interval.Sequence {
+	type span struct {
+		start, end int
+		ok         bool
+	}
+	spans := make(map[instanceKey]*span)
+	var order []instanceKey
+	for i, el := range q.Elements {
+		for _, e := range el {
+			k := instanceKey{e.Symbol, e.Occ}
+			sp, found := spans[k]
+			if !found {
+				sp = &span{start: -1, end: -1}
+				spans[k] = sp
+				order = append(order, k)
+			}
+			if e.Kind == endpoint.Start {
+				sp.start = i
+			} else {
+				sp.end = i
+			}
+		}
+	}
+	var seq interval.Sequence
+	for _, k := range order {
+		sp := spans[k]
+		if sp.start < 0 || sp.end < 0 {
+			continue // unpaired instance: skip (incomplete pattern)
+		}
+		seq.Intervals = append(seq.Intervals, interval.Interval{
+			Symbol: k.sym,
+			Start:  interval.Time(sp.start),
+			End:    interval.Time(sp.end),
+		})
+	}
+	seq.Normalize()
+	return seq
+}
+
+type instanceKey struct {
+	sym string
+	occ int
+}
+
+// SubPattern reports whether p is contained in q as an arrangement
+// (any-binding subsumption). Every pattern subsumes itself.
+func SubPattern(p, q pattern.Temporal) bool {
+	if p.Size() > q.Size() {
+		return false
+	}
+	return pattern.ContainsAny(patternAsSequence(q), p)
+}
+
+// FilterClosed keeps only closed patterns: those with no proper
+// super-pattern of equal support in rs. The input is not modified; the
+// output is sorted.
+func FilterClosed(rs []pattern.TemporalResult) []pattern.TemporalResult {
+	return filterSubsumed(rs, func(sub, super pattern.TemporalResult) bool {
+		return sub.Support == super.Support
+	})
+}
+
+// FilterMaximal keeps only maximal patterns: those with no proper
+// frequent super-pattern in rs at all. Maximal sets are smaller than
+// closed sets but lose exact supports of sub-patterns.
+func FilterMaximal(rs []pattern.TemporalResult) []pattern.TemporalResult {
+	return filterSubsumed(rs, func(sub, super pattern.TemporalResult) bool {
+		return true
+	})
+}
+
+// filterSubsumed drops every result subsumed by a strictly larger result
+// for which admits returns true.
+func filterSubsumed(rs []pattern.TemporalResult, admits func(sub, super pattern.TemporalResult) bool) []pattern.TemporalResult {
+	// Pre-materialize super-pattern sequences once.
+	seqs := make([]interval.Sequence, len(rs))
+	for i := range rs {
+		seqs[i] = patternAsSequence(rs[i].Pattern)
+	}
+	out := make([]pattern.TemporalResult, 0, len(rs))
+	for i := range rs {
+		subsumed := false
+		for j := range rs {
+			if i == j || rs[j].Pattern.Size() <= rs[i].Pattern.Size() {
+				continue
+			}
+			// Supports are anti-monotone, so a super-pattern never has
+			// higher support; admits refines which supers count.
+			if !admits(rs[i], rs[j]) {
+				continue
+			}
+			if pattern.ContainsAny(seqs[j], rs[i].Pattern) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, rs[i])
+		}
+	}
+	pattern.SortTemporalResults(out)
+	return out
+}

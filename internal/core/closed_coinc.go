@@ -1,0 +1,74 @@
+package core
+
+import (
+	"tpminer/internal/coincidence"
+	"tpminer/internal/pattern"
+)
+
+// Closed/maximal filters for coincidence patterns, mirroring the
+// temporal ones. Subsumption is sequence-of-sets containment: p ⊑ q
+// when p's elements map order-preservingly onto q's elements with
+// set inclusion.
+
+// SubCoincPattern reports whether p is contained in q. Every pattern
+// subsumes itself.
+func SubCoincPattern(p, q pattern.Coinc) bool {
+	if p.Size() > q.Size() || p.Len() > q.Len() {
+		return false
+	}
+	return pattern.ContainsCoinc(coincElements(q), p)
+}
+
+// coincElements views a coincidence pattern's elements as a coincidence
+// sequence so the standard matcher applies.
+func coincElements(q pattern.Coinc) []coincidence.Coincidence {
+	out := make([]coincidence.Coincidence, len(q.Elements))
+	for i, el := range q.Elements {
+		out[i] = coincidence.Coincidence{Symbols: el}
+	}
+	return out
+}
+
+// FilterClosedCoinc keeps only closed coincidence patterns: those with
+// no proper super-pattern of equal support in rs.
+func FilterClosedCoinc(rs []pattern.CoincResult) []pattern.CoincResult {
+	return filterCoincSubsumed(rs, func(sub, super pattern.CoincResult) bool {
+		return sub.Support == super.Support
+	})
+}
+
+// FilterMaximalCoinc keeps only maximal coincidence patterns: those
+// with no proper frequent super-pattern in rs at all.
+func FilterMaximalCoinc(rs []pattern.CoincResult) []pattern.CoincResult {
+	return filterCoincSubsumed(rs, func(sub, super pattern.CoincResult) bool {
+		return true
+	})
+}
+
+func filterCoincSubsumed(rs []pattern.CoincResult, admits func(sub, super pattern.CoincResult) bool) []pattern.CoincResult {
+	seqs := make([][]coincidence.Coincidence, len(rs))
+	for i := range rs {
+		seqs[i] = coincElements(rs[i].Pattern)
+	}
+	out := make([]pattern.CoincResult, 0, len(rs))
+	for i := range rs {
+		subsumed := false
+		for j := range rs {
+			if i == j || rs[j].Pattern.Size() <= rs[i].Pattern.Size() {
+				continue
+			}
+			if !admits(rs[i], rs[j]) {
+				continue
+			}
+			if pattern.ContainsCoinc(seqs[j], rs[i].Pattern) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, rs[i])
+		}
+	}
+	pattern.SortCoincResults(out)
+	return out
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/seqdb"
+)
+
+// MineCoincidence discovers all frequent coincidence patterns of the
+// database. Results are sorted deterministically. Unlike temporal
+// mining, the same symbol may appear in many segments of a sequence, so
+// the miner uses full PrefixSpan semantics with earliest-match
+// projection. Prunings P2/P3 are endpoint-specific and do not apply;
+// P1 and P4 do.
+func MineCoincidence(db *interval.Database, opt Options) ([]pattern.CoincResult, Stats, error) {
+	start := time.Now()
+	if err := opt.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	minCount, err := opt.resolveMinCount(db.Len())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	enc, err := seqdb.EncodeCoincidenceDB(db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	stats := Stats{Sequences: db.Len(), MinCount: minCount}
+	if !opt.DisableGlobalPruning {
+		stats.ItemsRemoved = enc.FilterInfrequent(minCount) // P1
+	}
+
+	var results []pattern.CoincResult
+	if opt.Parallel > 1 {
+		results = mineCoincParallel(enc, opt, minCount, &stats)
+	} else {
+		m := newCoincMiner(enc, opt, minCount)
+		m.mine(initialCoincProjection(enc))
+		stats.add(m.stats)
+		results = m.results
+	}
+
+	pattern.SortCoincResults(results)
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// coincProjEntry is one sequence of a coincidence pseudo-projection:
+// loc is the earliest match of the prefix's last element, pointing at its
+// maximum item (Slice == -1 for the empty prefix). Because elements are
+// matched greedily earliest, loc alone determines where extensions may
+// match: I-extensions from loc.Slice onward, S-extensions strictly after.
+type coincProjEntry struct {
+	seq int32
+	loc seqdb.Loc
+}
+
+func initialCoincProjection(db *seqdb.CoincDB) []coincProjEntry {
+	proj := make([]coincProjEntry, len(db.Seqs))
+	for i := range proj {
+		proj[i] = coincProjEntry{seq: int32(i), loc: seqdb.Loc{Slice: -1, Idx: -1}}
+	}
+	return proj
+}
+
+type coincMiner struct {
+	db       *seqdb.CoincDB
+	opt      Options
+	minCount int
+	stats    Stats
+	results  []pattern.CoincResult
+
+	elems [][]seqdb.Item
+
+	countsS, countsI   []int32
+	touchedS, touchedI []seqdb.Item
+	stampS, stampI     []int64
+	tok                int64
+
+	// topk, when non-nil, raises minCount dynamically (top-k mining).
+	topk *topKState
+}
+
+func newCoincMiner(db *seqdb.CoincDB, opt Options, minCount int) *coincMiner {
+	n := db.Table.Len()
+	return &coincMiner{
+		db:       db,
+		opt:      opt,
+		minCount: minCount,
+		countsS:  make([]int32, n),
+		countsI:  make([]int32, n),
+		stampS:   make([]int64, n),
+		stampI:   make([]int64, n),
+	}
+}
+
+func (m *coincMiner) mine(proj []coincProjEntry) {
+	m.stats.Nodes++
+	if len(m.elems) > 0 {
+		m.emit(proj)
+	}
+	if !m.opt.DisableSizePruning && len(proj) < m.minCount { // P4
+		m.stats.SizePruned++
+		return
+	}
+
+	canS := m.opt.MaxElements == 0 || len(m.elems) < m.opt.MaxElements
+	canI := len(m.elems) > 0 &&
+		(m.opt.MaxItemsPerElement == 0 || len(m.elems[len(m.elems)-1]) < m.opt.MaxItemsPerElement)
+	if !canS && !canI {
+		return
+	}
+
+	cands := m.countCandidates(proj, canS, canI)
+	for _, c := range cands {
+		m.extend(proj, c)
+	}
+}
+
+// countCandidates scans the projection and returns frequent extensions.
+// Per-sequence deduplication uses monotonic stamps so the counter arrays
+// never need clearing between sequences.
+func (m *coincMiner) countCandidates(proj []coincProjEntry, canS, canI bool) []candidate {
+	var lastElem []seqdb.Item
+	var maxItem seqdb.Item = -1
+	if len(m.elems) > 0 {
+		lastElem = m.elems[len(m.elems)-1]
+		maxItem = lastElem[len(lastElem)-1]
+	}
+	for i := range proj {
+		pe := &proj[i]
+		m.stats.CandidateScans++
+		m.tok++
+		seq := &m.db.Seqs[pe.seq]
+		if canI && pe.loc.Slice >= 0 {
+			// Remainder of the earliest-match slice.
+			sl := &seq.Slices[pe.loc.Slice]
+			for ii := int(pe.loc.Idx) + 1; ii < len(sl.Items); ii++ {
+				m.countI(sl.Items[ii])
+			}
+			// Later slices that contain the whole last element.
+			for ci := int(pe.loc.Slice) + 1; ci < len(seq.Slices); ci++ {
+				items := seq.Slices[ci].Items
+				if !containsItems(items, lastElem) {
+					continue
+				}
+				for _, it := range items {
+					if it > maxItem {
+						m.countI(it)
+					}
+				}
+			}
+		}
+		if canS {
+			for ci := int(pe.loc.Slice) + 1; ci < len(seq.Slices); ci++ {
+				for _, it := range seq.Slices[ci].Items {
+					m.countS(it)
+				}
+			}
+		}
+	}
+
+	cands := make([]candidate, 0, len(m.touchedS)+len(m.touchedI))
+	for _, it := range m.touchedS {
+		if c := m.countsS[it]; int(c) >= m.minCount {
+			cands = append(cands, candidate{item: it, isI: false, count: c})
+		}
+		m.countsS[it] = 0
+	}
+	for _, it := range m.touchedI {
+		if c := m.countsI[it]; int(c) >= m.minCount {
+			cands = append(cands, candidate{item: it, isI: true, count: c})
+		}
+		m.countsI[it] = 0
+	}
+	m.touchedS = m.touchedS[:0]
+	m.touchedI = m.touchedI[:0]
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].isI != cands[j].isI {
+			return !cands[i].isI
+		}
+		return cands[i].item < cands[j].item
+	})
+	return cands
+}
+
+func (m *coincMiner) countS(it seqdb.Item) {
+	if m.stampS[it] == m.tok {
+		return
+	}
+	m.stampS[it] = m.tok
+	if m.countsS[it] == 0 {
+		m.touchedS = append(m.touchedS, it)
+	}
+	m.countsS[it]++
+}
+
+func (m *coincMiner) countI(it seqdb.Item) {
+	if m.stampI[it] == m.tok {
+		return
+	}
+	m.stampI[it] = m.tok
+	if m.countsI[it] == 0 {
+		m.touchedI = append(m.touchedI, it)
+	}
+	m.countsI[it]++
+}
+
+// containsItems reports whether the sorted item list haystack contains
+// every element of the sorted item list needle.
+func containsItems(haystack, needle []seqdb.Item) bool {
+	i := 0
+	for _, w := range needle {
+		for i < len(haystack) && haystack[i] < w {
+			i++
+		}
+		if i >= len(haystack) || haystack[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// extend projects for candidate c, applies it to the prefix, recurses,
+// and restores the prefix.
+func (m *coincMiner) extend(proj []coincProjEntry, c candidate) {
+	next := m.project(proj, c)
+	if c.isI {
+		last := len(m.elems) - 1
+		m.elems[last] = append(m.elems[last], c.item)
+	} else {
+		m.elems = append(m.elems, []seqdb.Item{c.item})
+	}
+	m.mine(next)
+	if c.isI {
+		last := len(m.elems) - 1
+		m.elems[last] = m.elems[last][:len(m.elems[last])-1]
+	} else {
+		m.elems = m.elems[:len(m.elems)-1]
+	}
+}
+
+// project computes the earliest-match projection for prefix + c.
+// It must run before the prefix mutation (it reads the current last
+// element).
+func (m *coincMiner) project(proj []coincProjEntry, c candidate) []coincProjEntry {
+	var lastElem []seqdb.Item
+	if len(m.elems) > 0 {
+		lastElem = m.elems[len(m.elems)-1]
+	}
+	out := make([]coincProjEntry, 0, int(c.count))
+	for i := range proj {
+		pe := &proj[i]
+		seq := &m.db.Seqs[pe.seq]
+		if c.isI {
+			// Earliest slice containing lastElem ∪ {item}. The stored
+			// loc is the earliest match of lastElem, so the scan starts
+			// there; the new item has a larger id than every lastElem
+			// member, so within loc.Slice it can only sit after loc.Idx.
+			for ci := int(pe.loc.Slice); ci < len(seq.Slices); ci++ {
+				items := seq.Slices[ci].Items
+				if ci > int(pe.loc.Slice) && !containsItems(items, lastElem) {
+					continue
+				}
+				if idx := findItem(items, c.item); idx >= 0 {
+					out = append(out, coincProjEntry{
+						seq: pe.seq,
+						loc: seqdb.Loc{Slice: int32(ci), Idx: int32(idx)},
+					})
+					break
+				}
+			}
+		} else {
+			for ci := int(pe.loc.Slice) + 1; ci < len(seq.Slices); ci++ {
+				if idx := findItem(seq.Slices[ci].Items, c.item); idx >= 0 {
+					out = append(out, coincProjEntry{
+						seq: pe.seq,
+						loc: seqdb.Loc{Slice: int32(ci), Idx: int32(idx)},
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// findItem returns the index of it in the sorted item list, or -1.
+func findItem(items []seqdb.Item, it seqdb.Item) int {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if items[mid] < it {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(items) && items[lo] == it {
+		return lo
+	}
+	return -1
+}
+
+func (m *coincMiner) emit(proj []coincProjEntry) {
+	m.stats.Emitted++
+	els := make([][]string, len(m.elems))
+	for i, el := range m.elems {
+		syms := make([]string, len(el))
+		for j, it := range el {
+			syms[j] = m.db.Table.Symbol(it)
+		}
+		els[i] = syms
+	}
+	res := pattern.CoincResult{
+		Pattern: pattern.NewCoinc(els...),
+		Support: len(proj),
+	}
+	m.results = append(m.results, res)
+	if m.topk != nil {
+		m.minCount = m.topk.observe(res.Pattern.Key(), res.Support, m.minCount)
+	}
+}
+
+// mineCoincParallel fans first-level frequent symbols out over workers.
+func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stats) []pattern.CoincResult {
+	root := newCoincMiner(db, opt, minCount)
+	proj := initialCoincProjection(db)
+	root.stats.Nodes++
+	cands := root.countCandidates(proj, true, false)
+
+	type job struct {
+		idx int
+		c   candidate
+	}
+	jobs := make(chan job)
+	workerResults := make([][]pattern.CoincResult, len(cands))
+	workerStats := make([]Stats, opt.Parallel)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallel; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := newCoincMiner(db, opt, minCount)
+			for j := range jobs {
+				m.results = nil
+				m.extend(proj, j.c)
+				workerResults[j.idx] = m.results
+			}
+			workerStats[w] = m.stats
+		}(w)
+	}
+	for i, c := range cands {
+		jobs <- job{idx: i, c: c}
+	}
+	close(jobs)
+	wg.Wait()
+
+	stats.add(root.stats)
+	for _, ws := range workerStats {
+		stats.add(ws)
+	}
+	var out []pattern.CoincResult
+	for _, rs := range workerResults {
+		out = append(out, rs...)
+	}
+	return out
+}

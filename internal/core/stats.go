@@ -1,0 +1,37 @@
+package core
+
+import "time"
+
+// Stats reports what a mining run did. Counter semantics:
+//
+//   - Nodes counts search-tree nodes (prefixes) explored, including the
+//     root.
+//   - Emitted counts patterns emitted before normalization/merging.
+//   - CandidateScans counts projected-sequence scans performed while
+//     counting extension candidates (the dominant cost).
+//   - PairPruned counts finish endpoints skipped by P2.
+//   - PostfixPruned counts projected sequences dropped by P3.
+//   - SizePruned counts nodes cut by P4.
+//   - ItemsRemoved counts item ids removed by P1.
+type Stats struct {
+	Sequences      int
+	MinCount       int
+	ItemsRemoved   int
+	Nodes          int64
+	Emitted        int64
+	CandidateScans int64
+	PairPruned     int64
+	PostfixPruned  int64
+	SizePruned     int64
+	Elapsed        time.Duration
+}
+
+// add accumulates worker-local stats into s (used by the parallel miner).
+func (s *Stats) add(w Stats) {
+	s.Nodes += w.Nodes
+	s.Emitted += w.Emitted
+	s.CandidateScans += w.CandidateScans
+	s.PairPruned += w.PairPruned
+	s.PostfixPruned += w.PostfixPruned
+	s.SizePruned += w.SizePruned
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/seqdb"
+)
+
+// MineTemporal discovers all frequent complete temporal patterns of the
+// database under occurrence-aligned semantics (see DESIGN.md). Results
+// are normalized and sorted unless Options.KeepOccurrences is set, in
+// which case the raw occurrence-labelled pattern set is returned.
+func MineTemporal(db *interval.Database, opt Options) ([]pattern.TemporalResult, Stats, error) {
+	start := time.Now()
+	if err := opt.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	minCount, err := opt.resolveMinCount(db.Len())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	enc, err := seqdb.EncodeEndpointDB(db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	stats := Stats{Sequences: db.Len(), MinCount: minCount}
+	if !opt.DisableGlobalPruning {
+		stats.ItemsRemoved = enc.FilterInfrequent(minCount) // P1
+	}
+
+	var results []pattern.TemporalResult
+	if opt.Parallel > 1 {
+		results = mineTemporalParallel(enc, opt, minCount, &stats)
+	} else {
+		m := newTemporalMiner(enc, opt, minCount)
+		m.mine(initialTemporalProjection(enc))
+		stats.add(m.stats)
+		results = m.results
+	}
+
+	if !opt.KeepOccurrences {
+		results = pattern.NormalizeTemporalResults(results)
+	} else {
+		pattern.SortTemporalResults(results)
+	}
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// projEntry is one sequence of a pseudo-projected database: the location
+// where the prefix's last item matched (Slice == -1 for the empty
+// prefix) and the time of the first matched endpoint, used by the
+// MaxSpan constraint.
+type projEntry struct {
+	seq       int32
+	loc       seqdb.Loc
+	firstTime interval.Time
+}
+
+func initialTemporalProjection(db *seqdb.EndpointDB) []projEntry {
+	proj := make([]projEntry, len(db.Seqs))
+	for i := range proj {
+		proj[i] = projEntry{seq: int32(i), loc: seqdb.Loc{Slice: -1, Idx: -1}}
+	}
+	return proj
+}
+
+// temporalMiner holds the depth-first search state for one worker.
+type temporalMiner struct {
+	db       *seqdb.EndpointDB
+	opt      Options
+	minCount int
+	stats    Stats
+	results  []pattern.TemporalResult
+
+	// Current prefix: elements of item ids, the set of open interval
+	// starts, and the number of interval instances opened so far.
+	elems      [][]seqdb.Item
+	open       map[seqdb.Item]struct{}
+	nIntervals int
+
+	// Candidate counting scratch, reused across the whole search.
+	countsS, countsI   []int32
+	touchedS, touchedI []seqdb.Item
+
+	// topk, when non-nil, raises minCount dynamically (top-k mining).
+	topk *topKState
+}
+
+func newTemporalMiner(db *seqdb.EndpointDB, opt Options, minCount int) *temporalMiner {
+	n := db.Table.Len()
+	return &temporalMiner{
+		db:       db,
+		opt:      opt,
+		minCount: minCount,
+		open:     make(map[seqdb.Item]struct{}),
+		countsS:  make([]int32, n),
+		countsI:  make([]int32, n),
+	}
+}
+
+// candidate is one frequent extension discovered at a node.
+type candidate struct {
+	item  seqdb.Item
+	isI   bool
+	count int32
+}
+
+// mine explores the search tree rooted at the current prefix, whose
+// projected database is proj.
+func (m *temporalMiner) mine(proj []projEntry) {
+	m.stats.Nodes++
+	if len(m.elems) > 0 && len(m.open) == 0 && len(proj) >= m.minCount {
+		m.emit(proj)
+	}
+	if !m.opt.DisableSizePruning && len(proj) < m.minCount { // P4
+		m.stats.SizePruned++
+		return
+	}
+
+	canS := m.opt.MaxElements == 0 || len(m.elems) < m.opt.MaxElements
+	canI := len(m.elems) > 0 &&
+		(m.opt.MaxItemsPerElement == 0 || len(m.elems[len(m.elems)-1]) < m.opt.MaxItemsPerElement)
+	canStart := m.opt.MaxIntervals == 0 || m.nIntervals < m.opt.MaxIntervals
+	if !canS && !canI {
+		return
+	}
+
+	cands := m.countCandidates(proj, canS, canI, canStart)
+	for _, c := range cands {
+		m.extend(proj, c)
+	}
+	// Return scratch: countCandidates already reset the touched counters.
+}
+
+// countCandidates scans the projected database once and returns the
+// frequent, admissible extensions, deterministically ordered (S before I,
+// then by item id).
+func (m *temporalMiner) countCandidates(proj []projEntry, canS, canI, canStart bool) []candidate {
+	pairPruning := !m.opt.DisablePairPruning
+	for i := range proj {
+		pe := &proj[i]
+		m.stats.CandidateScans++
+		seq := &m.db.Seqs[pe.seq]
+		if canI && pe.loc.Slice >= 0 {
+			sl := &seq.Slices[pe.loc.Slice]
+			for ii := int(pe.loc.Idx) + 1; ii < len(sl.Items); ii++ {
+				it := sl.Items[ii]
+				if !m.admit(it, canStart, pairPruning) {
+					continue
+				}
+				if m.countsI[it] == 0 {
+					m.touchedI = append(m.touchedI, it)
+				}
+				m.countsI[it]++
+			}
+		}
+		if canS {
+			for ci := int(pe.loc.Slice) + 1; ci < len(seq.Slices); ci++ {
+				for _, it := range seq.Slices[ci].Items {
+					if !m.admit(it, canStart, pairPruning) {
+						continue
+					}
+					if m.countsS[it] == 0 {
+						m.touchedS = append(m.touchedS, it)
+					}
+					m.countsS[it]++
+				}
+			}
+		}
+	}
+
+	cands := make([]candidate, 0, len(m.touchedS)+len(m.touchedI))
+	for _, it := range m.touchedS {
+		if c := m.countsS[it]; int(c) >= m.minCount && m.valid(it) {
+			cands = append(cands, candidate{item: it, isI: false, count: c})
+		}
+		m.countsS[it] = 0
+	}
+	for _, it := range m.touchedI {
+		if c := m.countsI[it]; int(c) >= m.minCount && m.valid(it) {
+			cands = append(cands, candidate{item: it, isI: true, count: c})
+		}
+		m.countsI[it] = 0
+	}
+	m.touchedS = m.touchedS[:0]
+	m.touchedI = m.touchedI[:0]
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].isI != cands[j].isI {
+			return !cands[i].isI
+		}
+		return cands[i].item < cands[j].item
+	})
+	return cands
+}
+
+// admit decides whether an item is worth counting at this node. Start
+// endpoints are admissible unless the interval cap is reached. Finish
+// endpoints are admissible only when their interval is open; with pair
+// pruning (P2) enabled the check happens here, saving counter work,
+// otherwise the item is counted and filtered later by valid.
+func (m *temporalMiner) admit(it seqdb.Item, canStart, pairPruning bool) bool {
+	if !m.db.IsFinish[it] {
+		return canStart
+	}
+	if pairPruning {
+		if _, ok := m.open[m.db.Pair[it]]; !ok {
+			m.stats.PairPruned++
+			return false
+		}
+	}
+	return true
+}
+
+// valid is the semantic admissibility check applied before recursion:
+// a finish endpoint extends the prefix only if its interval is open.
+// Redundant when P2 is on (admit already filtered), required when off.
+func (m *temporalMiner) valid(it seqdb.Item) bool {
+	if !m.db.IsFinish[it] {
+		return true
+	}
+	_, ok := m.open[m.db.Pair[it]]
+	return ok
+}
+
+// extend applies candidate c to the prefix, projects, recurses, and
+// restores the prefix state.
+func (m *temporalMiner) extend(proj []projEntry, c candidate) {
+	// Mutate prefix state.
+	if c.isI {
+		last := len(m.elems) - 1
+		m.elems[last] = append(m.elems[last], c.item)
+	} else {
+		m.elems = append(m.elems, []seqdb.Item{c.item})
+	}
+	var closed seqdb.Item = -1
+	if m.db.IsFinish[c.item] {
+		closed = m.db.Pair[c.item]
+		delete(m.open, closed)
+	} else {
+		m.open[c.item] = struct{}{}
+		m.nIntervals++
+	}
+
+	next := m.project(proj, c)
+	if len(next) > 0 {
+		m.mine(next)
+	}
+
+	// Undo.
+	if m.db.IsFinish[c.item] {
+		m.open[closed] = struct{}{}
+	} else {
+		delete(m.open, c.item)
+		m.nIntervals--
+	}
+	if c.isI {
+		last := len(m.elems) - 1
+		m.elems[last] = m.elems[last][:len(m.elems[last])-1]
+	} else {
+		m.elems = m.elems[:len(m.elems)-1]
+	}
+}
+
+// project builds the pseudo-projected database for prefix + c. It relies
+// on the per-sequence exact position index: every item occurs at most
+// once per sequence, so the match location is unique. The open set must
+// already reflect the extension (project is called from extend after the
+// prefix mutation).
+func (m *temporalMiner) project(proj []projEntry, c candidate) []projEntry {
+	postfixPruning := !m.opt.DisablePostfixPruning
+	out := make([]projEntry, 0, int(c.count))
+	for i := range proj {
+		pe := &proj[i]
+		loc, ok := m.db.Pos[pe.seq][c.item]
+		if !ok {
+			continue
+		}
+		if c.isI {
+			if loc.Slice != pe.loc.Slice || loc.Idx <= pe.loc.Idx {
+				continue
+			}
+		} else if loc.Slice <= pe.loc.Slice {
+			continue
+		}
+		newTime := m.db.Seqs[pe.seq].Slices[loc.Slice].Time
+		ft := pe.firstTime
+		if pe.loc.Slice < 0 {
+			ft = newTime
+		}
+		if m.opt.MaxSpan > 0 && newTime-ft > m.opt.MaxSpan {
+			continue
+		}
+		// Gap check applies to S-extensions only: I-extensions stay on
+		// the previous element's time point.
+		if m.opt.MaxGap > 0 && !c.isI && pe.loc.Slice >= 0 &&
+			newTime-m.db.Seqs[pe.seq].Slices[pe.loc.Slice].Time > m.opt.MaxGap {
+			continue
+		}
+		if postfixPruning && len(m.open) > 0 { // P3
+			dead := false
+			pos := m.db.Pos[pe.seq]
+			for s := range m.open {
+				floc, ok := pos[m.db.Pair[s]]
+				if !ok || !loc.Before(floc) {
+					dead = true
+					break
+				}
+			}
+			if dead {
+				m.stats.PostfixPruned++
+				continue
+			}
+		}
+		out = append(out, projEntry{seq: pe.seq, loc: loc, firstTime: ft})
+	}
+	return out
+}
+
+// emit records the current (complete) prefix as a result.
+func (m *temporalMiner) emit(proj []projEntry) {
+	m.stats.Emitted++
+	els := make([][]endpoint.Endpoint, len(m.elems))
+	for i, el := range m.elems {
+		eps := make([]endpoint.Endpoint, len(el))
+		for j, it := range el {
+			eps[j] = m.db.Table.Endpoint(it)
+		}
+		els[i] = eps
+	}
+	res := pattern.TemporalResult{
+		Pattern: pattern.NewTemporal(els...),
+		Support: len(proj),
+	}
+	m.results = append(m.results, res)
+	if m.topk != nil {
+		m.minCount = m.topk.observe(m.topk.key(res.Pattern), res.Support, m.minCount)
+	}
+}
+
+// mineTemporalParallel fans the first-level frequent items out over
+// Options.Parallel workers, each running an independent serial miner on
+// its subtree. Results and stats are merged deterministically.
+func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats) []pattern.TemporalResult {
+	root := newTemporalMiner(db, opt, minCount)
+	proj := initialTemporalProjection(db)
+	root.stats.Nodes++ // the shared root node
+	canStart := true
+	cands := root.countCandidates(proj, true, false, canStart)
+
+	type job struct {
+		idx int
+		c   candidate
+	}
+	jobs := make(chan job)
+	workerResults := make([][]pattern.TemporalResult, len(cands))
+	workerStats := make([]Stats, opt.Parallel)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallel; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := newTemporalMiner(db, opt, minCount)
+			for j := range jobs {
+				m.results = nil
+				m.extend(proj, j.c)
+				workerResults[j.idx] = m.results
+			}
+			workerStats[w] = m.stats
+		}(w)
+	}
+	for i, c := range cands {
+		jobs <- job{idx: i, c: c}
+	}
+	close(jobs)
+	wg.Wait()
+
+	stats.add(root.stats)
+	for _, ws := range workerStats {
+		stats.add(ws)
+	}
+	var out []pattern.TemporalResult
+	for _, rs := range workerResults {
+		out = append(out, rs...)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/seqdb"
+)
+
+// Top-k mining (extension beyond the two-page paper): instead of a fixed
+// support threshold, mine the k best-supported complete patterns. The
+// search starts from the options' threshold (or 1) and raises it
+// dynamically to the running kth-best support, so low-support subtrees
+// are pruned as soon as k better patterns are known.
+//
+// Ties at the kth support are cut deterministically by the standard
+// result order (descending support, ascending size, lexicographic key).
+// Top-k runs are always serial; Options.Parallel is ignored.
+
+// MineTemporalTopK returns the k best-supported temporal patterns.
+// Distinctness is counted on normalized patterns unless
+// opt.KeepOccurrences is set.
+func MineTemporalTopK(db *interval.Database, k int, opt Options) ([]pattern.TemporalResult, Stats, error) {
+	start := time.Now()
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	if opt.MinCount == 0 && opt.MinSupport == 0 {
+		opt.MinCount = 1
+	}
+	if err := opt.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	minCount, err := opt.resolveMinCount(db.Len())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	enc, err := seqdb.EncodeEndpointDB(db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	stats := Stats{Sequences: db.Len(), MinCount: minCount}
+	if !opt.DisableGlobalPruning {
+		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
+	}
+
+	m := newTemporalMiner(enc, opt, minCount)
+	m.topk = newTopKState(k, !opt.KeepOccurrences)
+	m.mine(initialTemporalProjection(enc))
+	stats.add(m.stats)
+
+	results := m.results
+	if !opt.KeepOccurrences {
+		results = pattern.NormalizeTemporalResults(results)
+	} else {
+		pattern.SortTemporalResults(results)
+	}
+	if len(results) > k {
+		results = results[:k]
+	}
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// MineCoincidenceTopK returns the k best-supported coincidence patterns.
+func MineCoincidenceTopK(db *interval.Database, k int, opt Options) ([]pattern.CoincResult, Stats, error) {
+	start := time.Now()
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
+	}
+	if opt.MinCount == 0 && opt.MinSupport == 0 {
+		opt.MinCount = 1
+	}
+	if err := opt.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	minCount, err := opt.resolveMinCount(db.Len())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	enc, err := seqdb.EncodeCoincidenceDB(db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	stats := Stats{Sequences: db.Len(), MinCount: minCount}
+	if !opt.DisableGlobalPruning {
+		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
+	}
+
+	m := newCoincMiner(enc, opt, minCount)
+	m.topk = newTopKState(k, false)
+	m.mine(initialCoincProjection(enc))
+	stats.add(m.stats)
+
+	results := m.results
+	pattern.SortCoincResults(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// topKState drives dynamic threshold raising. It tracks the supports of
+// the k best distinct patterns seen so far in a min-heap; once k
+// patterns are known, the mining threshold rises to the heap minimum.
+//
+// When normalization merges occurrence labelings, several raw patterns
+// map to one distinct pattern. The heap keeps the support first seen per
+// distinct key; a later better labeling leaves a stale (lower) entry,
+// which only makes the threshold conservative — completeness is never
+// at risk.
+type topKState struct {
+	k         int
+	normalize bool
+	seen      map[string]struct{}
+	supports  intMinHeap
+}
+
+func newTopKState(k int, normalize bool) *topKState {
+	return &topKState{k: k, normalize: normalize, seen: make(map[string]struct{}, k)}
+}
+
+// observe records an emitted pattern's support and returns the (possibly
+// raised) mining threshold.
+func (t *topKState) observe(key string, support, minCount int) int {
+	if _, dup := t.seen[key]; !dup {
+		t.seen[key] = struct{}{}
+		if t.supports.Len() < t.k {
+			heap.Push(&t.supports, support)
+		} else if support > t.supports[0] {
+			t.supports[0] = support
+			heap.Fix(&t.supports, 0)
+		}
+	}
+	if t.supports.Len() >= t.k && t.supports[0] > minCount {
+		return t.supports[0]
+	}
+	return minCount
+}
+
+// key computes the distinctness key of a temporal pattern under the
+// state's normalization mode.
+func (t *topKState) key(p pattern.Temporal) string {
+	if t.normalize {
+		return p.Normalize().Key()
+	}
+	return p.Key()
+}
+
+// intMinHeap is a minimal min-heap of ints for container/heap.
+type intMinHeap []int
+
+func (h intMinHeap) Len() int            { return len(h) }
+func (h intMinHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intMinHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

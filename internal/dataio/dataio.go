@@ -1,0 +1,236 @@
+// Package dataio reads and writes the on-disk formats used by the CLIs
+// and examples:
+//
+//   - CSV interval format: one interval per record,
+//     "sequence_id,symbol,start,end", with an optional header row.
+//     Records of one sequence need not be adjacent.
+//   - Line format: one sequence per line, "id: A[1,5] B[3,9] ...".
+//   - Pattern files: one pattern per line, "support<TAB>pattern", for
+//     both temporal and coincidence patterns.
+//
+// All readers report the offending line number on malformed input.
+package dataio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// ReadCSV parses the CSV interval format. A first record whose third
+// field is not an integer is treated as a header and skipped. Sequences
+// appear in the output in order of first appearance of their id.
+func ReadCSV(r io.Reader) (*interval.Database, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+
+	db := &interval.Database{}
+	index := make(map[string]int)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataio: csv: %w", err)
+		}
+		line++
+		start, errS := strconv.ParseInt(strings.TrimSpace(rec[2]), 10, 64)
+		end, errE := strconv.ParseInt(strings.TrimSpace(rec[3]), 10, 64)
+		if errS != nil || errE != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataio: csv record %d: bad times %q,%q", line, rec[2], rec[3])
+		}
+		iv := interval.Interval{Symbol: rec[1], Start: start, End: end}
+		if err := iv.Valid(); err != nil {
+			return nil, fmt.Errorf("dataio: csv record %d: %w", line, err)
+		}
+		id := rec[0]
+		si, ok := index[id]
+		if !ok {
+			si = len(db.Sequences)
+			index[id] = si
+			db.Sequences = append(db.Sequences, interval.Sequence{ID: id})
+		}
+		db.Sequences[si].Intervals = append(db.Sequences[si].Intervals, iv)
+	}
+	db.Normalize()
+	return db, nil
+}
+
+// WriteCSV writes the database in CSV interval format with a header row.
+func WriteCSV(w io.Writer, db *interval.Database) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sequence_id", "symbol", "start", "end"}); err != nil {
+		return fmt.Errorf("dataio: csv write: %w", err)
+	}
+	for i := range db.Sequences {
+		seq := &db.Sequences[i]
+		for _, iv := range seq.Intervals {
+			rec := []string{
+				seq.ID,
+				iv.Symbol,
+				strconv.FormatInt(iv.Start, 10),
+				strconv.FormatInt(iv.End, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("dataio: csv write: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadLines parses the line format: "id: A[1,5] B[3,9]". Empty lines and
+// lines starting with '#' are skipped. A line without "id: " gets the
+// auto id "s<line>".
+func ReadLines(r io.Reader) (*interval.Database, error) {
+	db := &interval.Database{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		id := fmt.Sprintf("s%d", line)
+		if i := strings.Index(text, ": "); i >= 0 && !strings.Contains(text[:i], "[") {
+			id = text[:i]
+			text = text[i+2:]
+		}
+		seq := interval.Sequence{ID: id}
+		for _, tok := range strings.Fields(text) {
+			iv, err := interval.Parse(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+			}
+			seq.Intervals = append(seq.Intervals, iv)
+		}
+		seq.Normalize()
+		db.Sequences = append(db.Sequences, seq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: lines: %w", err)
+	}
+	return db, nil
+}
+
+// WriteLines writes the database in line format.
+func WriteLines(w io.Writer, db *interval.Database) error {
+	bw := bufio.NewWriter(w)
+	for i := range db.Sequences {
+		seq := &db.Sequences[i]
+		if _, err := bw.WriteString(seq.String()); err != nil {
+			return fmt.Errorf("dataio: lines write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataio: lines write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTemporalResults writes temporal results as "support<TAB>pattern"
+// lines.
+func WriteTemporalResults(w io.Writer, rs []pattern.TemporalResult) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", r.Support, r.Pattern); err != nil {
+			return fmt.Errorf("dataio: pattern write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTemporalResults parses the output of WriteTemporalResults.
+func ReadTemporalResults(r io.Reader) ([]pattern.TemporalResult, error) {
+	var out []pattern.TemporalResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sup, rest, err := splitSupport(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: pattern line %d: %w", line, err)
+		}
+		p, err := pattern.ParseTemporal(rest)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: pattern line %d: %w", line, err)
+		}
+		out = append(out, pattern.TemporalResult{Pattern: p, Support: sup})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: patterns: %w", err)
+	}
+	return out, nil
+}
+
+// WriteCoincResults writes coincidence results as "support<TAB>pattern"
+// lines.
+func WriteCoincResults(w io.Writer, rs []pattern.CoincResult) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", r.Support, r.Pattern); err != nil {
+			return fmt.Errorf("dataio: pattern write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCoincResults parses the output of WriteCoincResults.
+func ReadCoincResults(r io.Reader) ([]pattern.CoincResult, error) {
+	var out []pattern.CoincResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sup, rest, err := splitSupport(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: pattern line %d: %w", line, err)
+		}
+		p, err := pattern.ParseCoinc(rest)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: pattern line %d: %w", line, err)
+		}
+		out = append(out, pattern.CoincResult{Pattern: p, Support: sup})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: patterns: %w", err)
+	}
+	return out, nil
+}
+
+func splitSupport(text string) (int, string, error) {
+	i := strings.IndexByte(text, '\t')
+	if i < 0 {
+		return 0, "", fmt.Errorf("missing TAB between support and pattern in %q", text)
+	}
+	sup, err := strconv.Atoi(strings.TrimSpace(text[:i]))
+	if err != nil {
+		return 0, "", fmt.Errorf("bad support %q: %v", text[:i], err)
+	}
+	return sup, text[i+1:], nil
+}

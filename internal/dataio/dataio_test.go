@@ -1,0 +1,174 @@
+package dataio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+func sampleDB() *interval.Database {
+	db := interval.NewDatabase(
+		[]interval.Interval{{Symbol: "A", Start: 0, End: 4}, {Symbol: "B", Start: 2, End: 6}},
+		[]interval.Interval{{Symbol: "C", Start: -3, End: 0}},
+	)
+	db.Sequences[0].ID = "first"
+	db.Sequences[1].ID = "second"
+	return db
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db, back) {
+		t.Errorf("round trip:\nwant %v\ngot  %v", db, back)
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "s1,A,0,4\ns1,B,2,6\ns2,C,1,2\n"
+	db, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || len(db.Sequences[0].Intervals) != 2 {
+		t.Errorf("parsed: %v", db)
+	}
+}
+
+func TestReadCSVInterleavedSequences(t *testing.T) {
+	in := "s1,A,0,4\ns2,C,1,2\ns1,B,2,6\n"
+	db, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || len(db.Sequences[0].Intervals) != 2 {
+		t.Errorf("interleaved records not grouped: %v", db)
+	}
+	if db.Sequences[0].ID != "s1" || db.Sequences[1].ID != "s2" {
+		t.Errorf("order of first appearance not kept: %v", db)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"s1,A,0\n",             // wrong field count
+		"s1,A,0,4\ns2,B,x,4\n", // bad time on a non-header row
+		"s1,A,5,1\n",           // reversed interval
+		"s1,,0,4\n",            // empty symbol
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestLinesRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := WriteLines(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "first: A[0,4] B[2,6]\nsecond: C[-3,0]\n" {
+		t.Errorf("WriteLines = %q", got)
+	}
+	back, err := ReadLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db, back) {
+		t.Errorf("round trip:\nwant %v\ngot  %v", db, back)
+	}
+}
+
+func TestReadLinesFeatures(t *testing.T) {
+	in := "# comment\n\nA[1,5] B[3,9]\nnamed: C[0,2]\n"
+	db, err := ReadLines(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("sequences = %d", db.Len())
+	}
+	if db.Sequences[0].ID != "s3" { // auto id carries the line number
+		t.Errorf("auto id = %q", db.Sequences[0].ID)
+	}
+	if db.Sequences[1].ID != "named" {
+		t.Errorf("named id = %q", db.Sequences[1].ID)
+	}
+}
+
+func TestReadLinesError(t *testing.T) {
+	if _, err := ReadLines(strings.NewReader("x: A[1,5] garbage\n")); err == nil {
+		t.Error("accepted garbage token")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestTemporalResultsRoundTrip(t *testing.T) {
+	p1, _ := pattern.ParseTemporal("A+ (A- B+) B-")
+	p2, _ := pattern.ParseTemporal("C+ C-")
+	rs := []pattern.TemporalResult{
+		{Pattern: p1, Support: 12},
+		{Pattern: p2, Support: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteTemporalResults(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTemporalResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Support != 12 || !back[0].Pattern.Equal(p1) || !back[1].Pattern.Equal(p2) {
+		t.Errorf("round trip: %v", back)
+	}
+}
+
+func TestCoincResultsRoundTrip(t *testing.T) {
+	p1, _ := pattern.ParseCoinc("{A B} {C}")
+	rs := []pattern.CoincResult{{Pattern: p1, Support: 4}}
+	var buf bytes.Buffer
+	if err := WriteCoincResults(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCoincResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Support != 4 || !back[0].Pattern.Equal(p1) {
+		t.Errorf("round trip: %v", back)
+	}
+}
+
+func TestReadResultsErrors(t *testing.T) {
+	for _, in := range []string{
+		"12 A+ A-\n",    // space instead of tab
+		"x\tA+ A-\n",    // bad support
+		"3\tA+ A+ A-\n", // invalid pattern
+	} {
+		if _, err := ReadTemporalResults(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTemporalResults(%q) accepted invalid input", in)
+		}
+	}
+	if _, err := ReadCoincResults(strings.NewReader("3\t{}\n")); err == nil {
+		t.Error("ReadCoincResults accepted empty element")
+	}
+	// Comments and blank lines are fine.
+	rs, err := ReadTemporalResults(strings.NewReader("# header\n\n3\tA+ A-\n"))
+	if err != nil || len(rs) != 1 {
+		t.Errorf("comment handling: %v %v", rs, err)
+	}
+}

@@ -1,0 +1,79 @@
+package dataio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the CSV reader must never panic and must only produce
+// valid databases.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("sequence_id,symbol,start,end\ns1,A,0,4\n")
+	f.Add("s1,A,0,4\ns1,B,2,6\n")
+	f.Add("s1,A,x,4\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("s1,A,4,0\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		db, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if vErr := db.Valid(); vErr != nil {
+			t.Fatalf("accepted %q but database invalid: %v", s, vErr)
+		}
+	})
+}
+
+// FuzzReadLines: same for the line format, plus write/read round trip
+// of whatever parses.
+func FuzzReadLines(f *testing.F) {
+	f.Add("s1: A[0,4] B[2,6]\n")
+	f.Add("# comment\n\nA[1,5]\n")
+	f.Add("x: garbage\n")
+	f.Add("A[5,1]\n")
+	f.Add(": \n")
+	f.Fuzz(func(t *testing.T, s string) {
+		db, err := ReadLines(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if vErr := db.Valid(); vErr != nil {
+			t.Fatalf("accepted %q but database invalid: %v", s, vErr)
+		}
+		var buf strings.Builder
+		if err := WriteLines(&buf, db); err != nil {
+			t.Fatalf("write-back of %q failed: %v", s, err)
+		}
+		back, err := ReadLines(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-read of %q failed: %v", buf.String(), err)
+		}
+		if back.NumIntervals() != db.NumIntervals() {
+			t.Fatalf("round trip changed interval count: %d -> %d", db.NumIntervals(), back.NumIntervals())
+		}
+	})
+}
+
+// FuzzReadTemporalResults: the pattern-file reader must never panic and
+// accepted lines must round-trip.
+func FuzzReadTemporalResults(f *testing.F) {
+	f.Add("3\tA+ A-\n")
+	f.Add("x\tA+ A-\n")
+	f.Add("3 A+ A-\n")
+	f.Add("# c\n\n1\t(A+ B+) (A- B-)\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		rs, err := ReadTemporalResults(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteTemporalResults(&buf, rs); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTemporalResults(strings.NewReader(buf.String()))
+		if err != nil || len(back) != len(rs) {
+			t.Fatalf("round trip broke: %v (%d vs %d)", err, len(back), len(rs))
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package endpoint implements the endpoint representation of interval
+// sequences used by P-TPMiner's temporal-pattern mining.
+//
+// Each event interval (S, start, end) is split into a start endpoint S+
+// emitted at time start and a finish endpoint S- emitted at time end.
+// Endpoints sharing a timestamp are grouped into one slice, so a sequence
+// of intervals becomes an ordered sequence of endpoint sets. The
+// transformation is lossless and — crucially — turns the thirteen-way
+// ambiguity of pairwise Allen relations into plain subsequence structure.
+//
+// Duplicate symbols are disambiguated with occurrence indices assigned in
+// canonical interval order (start, end, symbol): the k-th interval of
+// symbol A in a sequence produces endpoints A.k+ and A.k-. Every endpoint
+// therefore appears at most once per sequence, which makes pattern
+// embeddings positionally unique and keeps the projection-based miner
+// simple and fast (see DESIGN.md, "Duplicate-symbol semantics").
+package endpoint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tpminer/internal/interval"
+)
+
+// Kind distinguishes start endpoints from finish endpoints.
+type Kind uint8
+
+const (
+	// Start marks the beginning of an interval (rendered "+").
+	Start Kind = iota
+	// Finish marks the end of an interval (rendered "-").
+	Finish
+)
+
+// String returns "+" for Start and "-" for Finish.
+func (k Kind) String() string {
+	if k == Start {
+		return "+"
+	}
+	return "-"
+}
+
+// Endpoint is one end of an occurrence-indexed event interval.
+// Occ is 1-based: the first interval of a symbol in a sequence is
+// occurrence 1.
+type Endpoint struct {
+	Symbol string
+	Occ    int
+	Kind   Kind
+}
+
+// String renders the endpoint as "A+" / "A-" for occurrence 1 and
+// "A.2+" / "A.2-" for later occurrences. Parse inverts this rendering.
+func (e Endpoint) String() string {
+	if e.Occ <= 1 {
+		return e.Symbol + e.Kind.String()
+	}
+	return e.Symbol + "." + strconv.Itoa(e.Occ) + e.Kind.String()
+}
+
+// Pair returns the endpoint at the other end of the same interval.
+func (e Endpoint) Pair() Endpoint {
+	out := e
+	if e.Kind == Start {
+		out.Kind = Finish
+	} else {
+		out.Kind = Start
+	}
+	return out
+}
+
+// Less imposes the canonical ordering on endpoints: by symbol, then
+// occurrence, then kind (Start before Finish). Slices are kept in this
+// order so that equal slices compare element-wise.
+func (e Endpoint) Less(other Endpoint) bool {
+	if e.Symbol != other.Symbol {
+		return e.Symbol < other.Symbol
+	}
+	if e.Occ != other.Occ {
+		return e.Occ < other.Occ
+	}
+	return e.Kind < other.Kind
+}
+
+// Parse inverts Endpoint.String. It accepts "A+", "A-", "A.3+", "A.3-".
+// The symbol may itself contain dots as long as the final ".<n>" segment,
+// if present, is a positive integer (so "foo.bar+" parses as symbol
+// "foo.bar", occurrence 1). Symbols containing the textual-format
+// delimiters — parentheses, braces, or whitespace — are rejected: they
+// would render ambiguously in pattern syntax.
+func Parse(s string) (Endpoint, error) {
+	if len(s) < 2 {
+		return Endpoint{}, fmt.Errorf("endpoint: %q too short", s)
+	}
+	if strings.ContainsAny(s, "(){} \t\n\r") {
+		return Endpoint{}, fmt.Errorf("endpoint: %q contains format delimiter characters", s)
+	}
+	var kind Kind
+	switch s[len(s)-1] {
+	case '+':
+		kind = Start
+	case '-':
+		kind = Finish
+	default:
+		return Endpoint{}, fmt.Errorf("endpoint: %q must end in '+' or '-'", s)
+	}
+	body := s[:len(s)-1]
+	occ := 1
+	if i := strings.LastIndexByte(body, '.'); i >= 0 && i < len(body)-1 {
+		if n, err := strconv.Atoi(body[i+1:]); err == nil && n >= 1 {
+			occ = n
+			body = body[:i]
+		}
+	}
+	if body == "" {
+		return Endpoint{}, fmt.Errorf("endpoint: %q has empty symbol", s)
+	}
+	return Endpoint{Symbol: body, Occ: occ, Kind: kind}, nil
+}
+
+// Slice is the set of endpoints that occur at one timestamp, kept in
+// canonical endpoint order.
+type Slice struct {
+	Time   interval.Time
+	Points []Endpoint
+}
+
+// String renders the slice as "(A+ B-)" or a bare endpoint when the slice
+// holds a single point.
+func (sl Slice) String() string {
+	if len(sl.Points) == 1 {
+		return sl.Points[0].String()
+	}
+	parts := make([]string, len(sl.Points))
+	for i, p := range sl.Points {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Encode transforms an interval sequence into its endpoint representation.
+// The input is canonicalized (sorted) first; the original sequence is not
+// modified. Invalid intervals yield an error.
+func Encode(s interval.Sequence) ([]Slice, error) {
+	if err := s.Valid(); err != nil {
+		return nil, err
+	}
+	sorted := s.Clone()
+	sorted.Normalize()
+
+	occ := make(map[string]int, len(sorted.Intervals))
+	type timed struct {
+		t interval.Time
+		e Endpoint
+	}
+	points := make([]timed, 0, 2*len(sorted.Intervals))
+	for _, iv := range sorted.Intervals {
+		occ[iv.Symbol]++
+		k := occ[iv.Symbol]
+		points = append(points,
+			timed{iv.Start, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Start}},
+			timed{iv.End, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Finish}},
+		)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].t != points[j].t {
+			return points[i].t < points[j].t
+		}
+		return points[i].e.Less(points[j].e)
+	})
+
+	var out []Slice
+	for _, p := range points {
+		if n := len(out); n > 0 && out[n-1].Time == p.t {
+			out[n-1].Points = append(out[n-1].Points, p.e)
+			continue
+		}
+		out = append(out, Slice{Time: p.t, Points: []Endpoint{p.e}})
+	}
+	return out, nil
+}
+
+// Decode reconstructs the interval sequence from its endpoint
+// representation. It is the inverse of Encode up to canonical interval
+// order. Decode fails if any endpoint is unpaired or a finish precedes
+// its start.
+func Decode(slices []Slice) (interval.Sequence, error) {
+	type key struct {
+		sym string
+		occ int
+	}
+	open := make(map[key]interval.Time)
+	var seq interval.Sequence
+	for _, sl := range slices {
+		for _, p := range sl.Points {
+			k := key{p.Symbol, p.Occ}
+			switch p.Kind {
+			case Start:
+				if _, dup := open[k]; dup {
+					return interval.Sequence{}, fmt.Errorf("endpoint: duplicate start %s at time %d", p, sl.Time)
+				}
+				open[k] = sl.Time
+			case Finish:
+				start, ok := open[k]
+				if !ok {
+					return interval.Sequence{}, fmt.Errorf("endpoint: finish %s at time %d without open start", p, sl.Time)
+				}
+				delete(open, k)
+				seq.Intervals = append(seq.Intervals, interval.Interval{Symbol: p.Symbol, Start: start, End: sl.Time})
+			}
+		}
+	}
+	if len(open) > 0 {
+		for k := range open {
+			return interval.Sequence{}, fmt.Errorf("endpoint: start %s.%d never finished", k.sym, k.occ)
+		}
+	}
+	seq.Normalize()
+	return seq, nil
+}
+
+// FormatSlices renders an endpoint sequence as "A+ (A- B+) B-".
+func FormatSlices(slices []Slice) string {
+	parts := make([]string, len(slices))
+	for i, sl := range slices {
+		parts[i] = sl.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,255 @@
+package endpoint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tpminer/internal/interval"
+)
+
+func TestEndpointString(t *testing.T) {
+	cases := []struct {
+		e    Endpoint
+		want string
+	}{
+		{Endpoint{"A", 1, Start}, "A+"},
+		{Endpoint{"A", 1, Finish}, "A-"},
+		{Endpoint{"A", 2, Start}, "A.2+"},
+		{Endpoint{"fever", 3, Finish}, "fever.3-"},
+		{Endpoint{"A", 0, Start}, "A+"}, // occ 0 renders like occ 1
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, e := range []Endpoint{
+		{"A", 1, Start}, {"A", 1, Finish}, {"A", 7, Start},
+		{"sign.w3", 1, Finish}, {"sign.w3", 2, Finish},
+		{"T0.up", 1, Start},
+	} {
+		got, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Errorf("Parse(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "A", "+", "-", "A*", ".2+"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestParseDottedSymbolWithoutOcc(t *testing.T) {
+	// "foo.bar+" has a dotted symbol but no numeric occurrence suffix.
+	e, err := Parse("foo.bar+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Symbol != "foo.bar" || e.Occ != 1 || e.Kind != Start {
+		t.Errorf("got %+v", e)
+	}
+}
+
+func TestPair(t *testing.T) {
+	s := Endpoint{"A", 2, Start}
+	f := s.Pair()
+	if f.Kind != Finish || f.Symbol != "A" || f.Occ != 2 {
+		t.Errorf("Pair = %v", f)
+	}
+	if f.Pair() != s {
+		t.Error("Pair not an involution")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	es := []Endpoint{
+		{"A", 1, Start}, {"A", 1, Finish}, {"A", 2, Start}, {"B", 1, Start},
+	}
+	for i := range es {
+		for j := range es {
+			li, lj := es[i].Less(es[j]), es[j].Less(es[i])
+			if i == j && (li || lj) {
+				t.Errorf("Less not irreflexive at %v", es[i])
+			}
+			if i != j && li == lj {
+				t.Errorf("Less not total between %v and %v", es[i], es[j])
+			}
+		}
+	}
+	if !es[0].Less(es[1]) || !es[1].Less(es[2]) || !es[2].Less(es[3]) {
+		t.Error("Less order wrong: want sym, occ, kind precedence")
+	}
+}
+
+func TestEncodeBasic(t *testing.T) {
+	// A meets B: A[1,3] B[3,6] — A- and B+ share a slice.
+	seq := interval.Sequence{Intervals: []interval.Interval{
+		{Symbol: "A", Start: 1, End: 3},
+		{Symbol: "B", Start: 3, End: 6},
+	}}
+	slices, err := Encode(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatSlices(slices); got != "A+ (A- B+) B-" {
+		t.Errorf("FormatSlices = %q", got)
+	}
+	if slices[0].Time != 1 || slices[1].Time != 3 || slices[2].Time != 6 {
+		t.Errorf("times: %v", slices)
+	}
+}
+
+func TestEncodeOccurrenceIndexing(t *testing.T) {
+	// Two overlapping As: occurrence order follows canonical interval
+	// order (start, end, symbol).
+	seq := interval.Sequence{Intervals: []interval.Interval{
+		{Symbol: "A", Start: 5, End: 9},
+		{Symbol: "A", Start: 1, End: 7},
+	}}
+	slices, err := Encode(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatSlices(slices); got != "A+ A.2+ A- A.2-" {
+		t.Errorf("FormatSlices = %q", got)
+	}
+}
+
+func TestEncodePointEvent(t *testing.T) {
+	seq := interval.Sequence{Intervals: []interval.Interval{
+		{Symbol: "A", Start: 4, End: 4},
+	}}
+	slices, err := Encode(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 1 || len(slices[0].Points) != 2 {
+		t.Fatalf("point event slices: %v", slices)
+	}
+	if got := FormatSlices(slices); got != "(A+ A-)" {
+		t.Errorf("FormatSlices = %q", got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	seq := interval.Sequence{Intervals: []interval.Interval{
+		{Symbol: "A", Start: 5, End: 1},
+	}}
+	if _, err := Encode(seq); err == nil {
+		t.Error("Encode accepted a reversed interval")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		slices []Slice
+	}{
+		{"finish without start", []Slice{
+			{Time: 1, Points: []Endpoint{{"A", 1, Finish}}},
+		}},
+		{"unfinished start", []Slice{
+			{Time: 1, Points: []Endpoint{{"A", 1, Start}}},
+		}},
+		{"duplicate start", []Slice{
+			{Time: 1, Points: []Endpoint{{"A", 1, Start}}},
+			{Time: 2, Points: []Endpoint{{"A", 1, Start}}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.slices); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", c.name)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the central property test: Decode∘Encode
+// is the identity on normalized sequences.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(starts []int16, durs []uint8, syms []uint8) bool {
+		n := len(starts)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		if len(syms) < n {
+			n = len(syms)
+		}
+		seq := interval.Sequence{}
+		for i := 0; i < n; i++ {
+			seq.Intervals = append(seq.Intervals, interval.Interval{
+				Symbol: string(rune('A' + int(syms[i])%4)),
+				Start:  int64(starts[i]),
+				End:    int64(starts[i]) + int64(durs[i]%50),
+			})
+		}
+		seq.Normalize()
+		slices, err := Encode(seq)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(slices)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(seq.Intervals, back.Intervals) ||
+			(len(seq.Intervals) == 0 && len(back.Intervals) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeSliceInvariants checks structural invariants of the
+// encoding: slice times strictly increase, points are canonically
+// ordered within slices, and every endpoint appears exactly once.
+func TestEncodeSliceInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		seq := interval.Sequence{}
+		for i := 0; i < rng.Intn(12); i++ {
+			start := rng.Int63n(40)
+			seq.Intervals = append(seq.Intervals, interval.Interval{
+				Symbol: string(rune('A' + rng.Intn(3))),
+				Start:  start,
+				End:    start + rng.Int63n(20),
+			})
+		}
+		slices, err := Encode(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[Endpoint]bool)
+		for i, sl := range slices {
+			if i > 0 && slices[i-1].Time >= sl.Time {
+				t.Fatalf("slice times not increasing: %v", slices)
+			}
+			if len(sl.Points) == 0 {
+				t.Fatal("empty slice")
+			}
+			for j, p := range sl.Points {
+				if j > 0 && !sl.Points[j-1].Less(p) {
+					t.Fatalf("points not canonically ordered in slice %d: %v", i, sl)
+				}
+				if seen[p] {
+					t.Fatalf("endpoint %v appears twice", p)
+				}
+				seen[p] = true
+			}
+		}
+		if len(seen) != 2*len(seq.Intervals) {
+			t.Fatalf("endpoint count %d != 2×%d intervals", len(seen), len(seq.Intervals))
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package endpoint
+
+import "testing"
+
+// FuzzParse: the endpoint parser must never panic; accepted inputs must
+// round-trip through String up to the default-occurrence rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"A+", "A-", "A.2+", "foo.bar-", "", "+", "x", "A.0+", "A.99999999999999999999+"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("accepted %q but %q does not re-parse: %v", s, e.String(), err)
+		}
+		if back != e {
+			t.Fatalf("round trip %q -> %v -> %v", s, e, back)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/gen"
+)
+
+// tiny is a miniature scale so the whole suite runs in well under a
+// second per experiment.
+var tiny = Scale{
+	Name:         "tiny",
+	D:            40,
+	C:            5,
+	N:            15,
+	MinSups:      []float64{0.2, 0.1},
+	DBSizes:      []int{20, 40},
+	SeqLens:      []int{3, 5},
+	MaxIntervals: 3,
+	Seed:         1,
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header", "c"},
+	}
+	tbl.AddRow("1", "2", "3")
+	tbl.AddRow("wide-cell", "x", "y")
+	out := tbl.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a          long-header") {
+		t.Errorf("header alignment: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"x", "y"}}
+	tbl.AddRow("1", "2")
+	if got := tbl.CSV(); got != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestMeasureTemporal(t *testing.T) {
+	db, _, err := gen.Quest(tiny.questConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureTemporal(core.MineTemporal, db, tiny.options(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed <= 0 || m.Patterns == 0 || m.Stats.Nodes == 0 {
+		t.Errorf("measurement: %+v", m)
+	}
+	// Errors propagate.
+	if _, err := MeasureTemporal(core.MineTemporal, db, core.Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	runs := map[string]func() (*Table, error){
+		"fig1a": func() (*Table, error) { return Fig1a(tiny) },
+		"fig1b": func() (*Table, error) { return Fig1b(tiny) },
+		"fig2a": func() (*Table, error) { return Fig2a(tiny) },
+		"fig2b": func() (*Table, error) { return Fig2b(tiny) },
+		"fig3":  func() (*Table, error) { return Fig3(tiny) },
+		"tab1":  func() (*Table, error) { return Tab1(tiny) },
+		"ext1":  func() (*Table, error) { return Ext1(tiny) },
+	}
+	for name, run := range runs {
+		tbl, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: ragged row %v", name, row)
+			}
+		}
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	tbl, err := Fig1a(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern counts must not decrease as minsup drops.
+	prev := -1
+	for _, row := range tbl.Rows {
+		n, err := strconv.Atoi(row[len(row)-1])
+		if err != nil {
+			t.Fatalf("bad patterns cell %q", row[len(row)-1])
+		}
+		if prev >= 0 && n < prev {
+			t.Errorf("pattern count dropped as minsup fell: %v", tbl.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestRealDatasetsAndTables(t *testing.T) {
+	ds, err := RealDatasets(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	for _, d := range ds {
+		if d.DB.Len() == 0 {
+			t.Errorf("%s empty", d.Name)
+		}
+		if d.MinSup <= 0 || d.MinSup > 1 {
+			t.Errorf("%s minsup %v", d.Name, d.MinSup)
+		}
+	}
+
+	tab2, err := Tab2(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.Rows) != 4 {
+		t.Errorf("tab2 rows = %d", len(tab2.Rows))
+	}
+
+	tab3, err := Tab3(7, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab3.Rows) == 0 {
+		t.Error("tab3 empty")
+	}
+	// The Patient-sim planted episodes must be reported as recovered.
+	recovered := 0
+	for _, row := range tab3.Rows {
+		if row[0] == "Patient-sim" && strings.HasPrefix(row[3], "recovered") {
+			recovered++
+		}
+	}
+	if recovered != 3 {
+		t.Errorf("patient episodes recovered = %d, want 3\n%s", recovered, tab3.Format())
+	}
+}
+
+func TestRunAllWritesEveryTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, tiny, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 1a", "Fig 1b", "Fig 2a", "Fig 2b", "Fig 3", "Tab 1", "Tab 2", "Tab 3", "Ext 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// TemporalMiner is the signature every temporal-pattern algorithm under
+// evaluation satisfies (core.MineTemporal, baseline.TPrefixSpan,
+// baseline.AprioriTemporal).
+type TemporalMiner func(*interval.Database, core.Options) ([]pattern.TemporalResult, core.Stats, error)
+
+// CoincMiner is the coincidence analogue.
+type CoincMiner func(*interval.Database, core.Options) ([]pattern.CoincResult, core.Stats, error)
+
+// Measurement is one timed algorithm run.
+type Measurement struct {
+	Elapsed  time.Duration
+	Allocs   uint64 // bytes allocated during the run
+	HeapLive uint64 // live heap after the run, post-GC
+	Patterns int
+	Stats    core.Stats
+}
+
+// MeasureTemporal runs one temporal miner under time and memory
+// accounting. Memory numbers are whole-process heap deltas: Allocs is
+// everything allocated during the run, HeapLive what remains live after
+// a forced collection (the working-set proxy used by Tab 1).
+func MeasureTemporal(m TemporalMiner, db *interval.Database, opt core.Options) (Measurement, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	rs, st, err := m(db, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	runtime.ReadMemStats(&after)
+	return Measurement{
+		Elapsed:  elapsed,
+		Allocs:   after.TotalAlloc - before.TotalAlloc,
+		HeapLive: after.HeapAlloc,
+		Patterns: len(rs),
+		Stats:    st,
+	}, nil
+}
+
+// MeasureCoinc is the coincidence analogue of MeasureTemporal.
+func MeasureCoinc(m CoincMiner, db *interval.Database, opt core.Options) (Measurement, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	rs, st, err := m(db, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	runtime.ReadMemStats(&after)
+	return Measurement{
+		Elapsed:  elapsed,
+		Allocs:   after.TotalAlloc - before.TotalAlloc,
+		HeapLive: after.HeapAlloc,
+		Patterns: len(rs),
+		Stats:    st,
+	}, nil
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+// mb renders a byte count as fractional mebibytes.
+func mb(b uint64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1024*1024))
+}
+
+// pct renders a relative support as a percentage.
+func pct(s float64) string {
+	return fmt.Sprintf("%g%%", s*100)
+}

@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpminer/internal/interval"
+)
+
+// ASLConfig parameterizes the simulated sign-language dataset that
+// substitutes for the ASL-BU / ASL-GT corpora used in the literature's
+// practicability studies: one sequence per utterance, intervals for
+// manual signs (consecutive, meeting or nearly meeting) and for facial
+// grammar markers that span several signs — exactly the heavy-overlap,
+// repeated-symbol structure that stresses interval miners.
+//
+// Planted grammar:
+//
+//	wh-question:  the "face.wh" marker overlaps the final signs and
+//	              extends past the last one.
+//	negation:     the "face.neg" head-shake contains the negated sign.
+//	topic:        "face.browraise" co-starts with the first sign.
+type ASLConfig struct {
+	NumUtterances int
+	// AvgSigns is the average number of manual signs per utterance.
+	AvgSigns int
+	// Vocabulary is the number of distinct manual signs.
+	Vocabulary int
+	// WhProb, NegProb, TopicProb are the grammar-marker probabilities.
+	WhProb, NegProb, TopicProb float64
+	Seed                       int64
+}
+
+func (c ASLConfig) withDefaults() ASLConfig {
+	if c.NumUtterances == 0 {
+		c.NumUtterances = 400
+	}
+	if c.AvgSigns == 0 {
+		c.AvgSigns = 5
+	}
+	if c.Vocabulary == 0 {
+		c.Vocabulary = 30
+	}
+	if c.WhProb == 0 {
+		c.WhProb = 0.35
+	}
+	if c.NegProb == 0 {
+		c.NegProb = 0.25
+	}
+	if c.TopicProb == 0 {
+		c.TopicProb = 0.3
+	}
+	return c
+}
+
+// ASL generates the simulated sign-language database. It returns the
+// database and the per-marker utterance counts (wh, neg, topic) for
+// verification. Deterministic per Seed.
+func ASL(cfg ASLConfig) (db *interval.Database, wh, neg, topic int) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pickSign := zipfSymbols(rng, cfg.Vocabulary)
+
+	db = &interval.Database{Sequences: make([]interval.Sequence, cfg.NumUtterances)}
+	for u := 0; u < cfg.NumUtterances; u++ {
+		n := poisson(rng, float64(cfg.AvgSigns))
+		if n < 2 {
+			n = 2
+		}
+		// Manual signs: consecutive spans with small gaps or exact meets.
+		var ivs []interval.Interval
+		t := int64(0)
+		signSpans := make([][2]int64, n)
+		for i := 0; i < n; i++ {
+			dur := 3 + rng.Int63n(8)
+			ivs = append(ivs, interval.Interval{
+				Symbol: fmt.Sprintf("sign.w%d", pickSign()),
+				Start:  t,
+				End:    t + dur,
+			})
+			signSpans[i] = [2]int64{t, t + dur}
+			gap := rng.Int63n(3) // 0 = exact meet
+			t += dur + gap
+		}
+
+		if rng.Float64() < cfg.WhProb {
+			// Overlap the last two signs and extend past the end.
+			from := signSpans[n-1][0]
+			if n >= 2 {
+				from = signSpans[n-2][0] + 1
+			}
+			ivs = append(ivs, interval.Interval{
+				Symbol: "face.wh", Start: from, End: signSpans[n-1][1] + 2,
+			})
+			wh++
+		}
+		if rng.Float64() < cfg.NegProb {
+			// Contain one middle sign entirely.
+			i := rng.Intn(n)
+			ivs = append(ivs, interval.Interval{
+				Symbol: "face.neg",
+				Start:  signSpans[i][0] - 1,
+				End:    signSpans[i][1] + 1,
+			})
+			neg++
+		}
+		if rng.Float64() < cfg.TopicProb {
+			// Co-start with the first sign, finish inside it.
+			end := signSpans[0][0] + (signSpans[0][1]-signSpans[0][0])/2
+			if end <= signSpans[0][0] {
+				end = signSpans[0][0] + 1
+			}
+			ivs = append(ivs, interval.Interval{
+				Symbol: "face.browraise", Start: signSpans[0][0], End: end,
+			})
+			topic++
+		}
+
+		seq := interval.Sequence{ID: fmt.Sprintf("u%04d", u), Intervals: ivs}
+		// Negation may produce Start == -1 for the first sign; clamp by
+		// shifting the whole utterance right.
+		shiftNonNegative(&seq)
+		seq.Normalize()
+		db.Sequences[u] = seq
+	}
+	return db, wh, neg, topic
+}
+
+// shiftNonNegative shifts all intervals of the sequence so the earliest
+// start is at time zero or later.
+func shiftNonNegative(seq *interval.Sequence) {
+	var min int64
+	for _, iv := range seq.Intervals {
+		if iv.Start < min {
+			min = iv.Start
+		}
+	}
+	if min >= 0 {
+		return
+	}
+	for i := range seq.Intervals {
+		seq.Intervals[i].Start -= min
+		seq.Intervals[i].End -= min
+	}
+}

@@ -1,0 +1,296 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := QuestConfig{NumSequences: 50, AvgIntervals: 6, NumSymbols: 20, Seed: 7}
+	a, pa, err := Quest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, pb, err := Quest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Quest not deterministic for equal seeds")
+	}
+	if len(pa) != len(pb) {
+		t.Error("planted sets differ")
+	}
+	c, _, err := Quest(QuestConfig{NumSequences: 50, AvgIntervals: 6, NumSymbols: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds gave identical databases")
+	}
+}
+
+func TestQuestHonoursParameters(t *testing.T) {
+	cfg := QuestConfig{NumSequences: 300, AvgIntervals: 10, NumSymbols: 30, Horizon: 500, Seed: 1}
+	db, planted, err := Quest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 300 {
+		t.Fatalf("|D| = %d", db.Len())
+	}
+	st := db.Summarize()
+	if st.AvgSeqLen < 5 || st.AvgSeqLen > 15 {
+		t.Errorf("average length %v far from |C|=10", st.AvgSeqLen)
+	}
+	if st.Symbols > 30+1 {
+		t.Errorf("alphabet %d exceeds |N|", st.Symbols)
+	}
+	if st.SpanStart < 0 || st.SpanEnd > 2*500 { // stretch factor <= 2
+		t.Errorf("horizon violated: [%d,%d]", st.SpanStart, st.SpanEnd)
+	}
+	if err := db.Valid(); err != nil {
+		t.Errorf("invalid db: %v", err)
+	}
+	if len(planted) != 10 {
+		t.Errorf("planted = %d, want default |S|=10", len(planted))
+	}
+	for i := range db.Sequences {
+		if !db.Sequences[i].Normalized() {
+			t.Fatal("sequence not normalized")
+		}
+	}
+}
+
+func TestQuestPlantedAreFrequent(t *testing.T) {
+	db, planted, err := Quest(QuestConfig{NumSequences: 400, AvgIntervals: 8, NumSymbols: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range planted {
+		total += p.Embeddings
+		if err := p.Pattern.Validate(); err != nil {
+			t.Errorf("planted pattern invalid: %v", err)
+		}
+		if !p.Pattern.Complete() {
+			t.Errorf("planted pattern incomplete: %v", p.Pattern)
+		}
+	}
+	if total < 100 {
+		t.Errorf("only %d embeddings planted across 400 sequences", total)
+	}
+	// The most-planted template must actually be frequent under
+	// any-binding semantics (embeddings preserve the arrangement).
+	best := planted[0]
+	for _, p := range planted[1:] {
+		if p.Embeddings > best.Embeddings {
+			best = p
+		}
+	}
+	sup := pattern.SupportAny(db, best.Pattern)
+	if sup < best.Embeddings/2 {
+		t.Errorf("top template support %d << %d embeddings", sup, best.Embeddings)
+	}
+}
+
+func TestTemplatePattern(t *testing.T) {
+	p, err := TemplatePattern([]interval.Interval{
+		{Symbol: "A", Start: 0, End: 4},
+		{Symbol: "B", Start: 2, End: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "A+ B+ A- B-" {
+		t.Errorf("TemplatePattern = %q", got)
+	}
+	if _, err := TemplatePattern([]interval.Interval{{Symbol: "", Start: 0, End: 1}}); err == nil {
+		t.Error("TemplatePattern accepted invalid interval")
+	}
+}
+
+func TestStockGenerator(t *testing.T) {
+	db, rallies, selloffs := Stock(StockConfig{NumWindows: 100, NumTickers: 4, Seed: 5})
+	if db.Len() != 100 {
+		t.Fatalf("windows = %d", db.Len())
+	}
+	if err := db.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if rallies == 0 || selloffs == 0 {
+		t.Errorf("no regimes planted: rallies=%d selloffs=%d", rallies, selloffs)
+	}
+	// Trend symbols have the expected shape.
+	for _, sym := range db.Symbols() {
+		ok := false
+		for _, suffix := range []string{".up", ".down", ".vol"} {
+			if len(sym) > len(suffix) && sym[len(sym)-len(suffix):] == suffix {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected symbol %q", sym)
+		}
+	}
+	// Determinism.
+	db2, _, _ := Stock(StockConfig{NumWindows: 100, NumTickers: 4, Seed: 5})
+	if !reflect.DeepEqual(db, db2) {
+		t.Error("Stock not deterministic")
+	}
+}
+
+func TestPatientGenerator(t *testing.T) {
+	db, episodes := Patients(PatientConfig{NumPatients: 200, Seed: 9})
+	if db.Len() != 200 {
+		t.Fatalf("patients = %d", db.Len())
+	}
+	if err := db.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if len(episodes) != 3 {
+		t.Fatalf("episodes = %d", len(episodes))
+	}
+	for i, e := range episodes {
+		if e.Embeddings < 200*2/10 { // EpisodeProb 0.4, generous slack
+			t.Errorf("episode %d embedded only %d times", i, e.Embeddings)
+		}
+		// Every planted episode must be recoverable by the miner.
+		sup := pattern.SupportAny(db, e.Pattern)
+		if sup < e.Embeddings {
+			t.Errorf("episode %d support %d < embeddings %d", i, sup, e.Embeddings)
+		}
+	}
+}
+
+func TestPatientPlantedRecoveredByMiner(t *testing.T) {
+	db, episodes := Patients(PatientConfig{NumPatients: 150, Seed: 10})
+	rs, _, err := core.MineTemporal(db, core.Options{MinSupport: 0.15, MaxIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]int)
+	for _, r := range rs {
+		keys[r.Pattern.Key()] = r.Support
+	}
+	for i, e := range episodes {
+		sup, ok := keys[e.Pattern.Normalize().Key()]
+		if !ok {
+			t.Errorf("episode %d (%v) not mined", i, e.Pattern)
+			continue
+		}
+		if sup < e.Embeddings {
+			t.Errorf("episode %d mined support %d < %d embeddings", i, sup, e.Embeddings)
+		}
+	}
+}
+
+func TestASLGenerator(t *testing.T) {
+	db, wh, neg, topic := ASL(ASLConfig{NumUtterances: 150, Seed: 11})
+	if db.Len() != 150 {
+		t.Fatalf("utterances = %d", db.Len())
+	}
+	if err := db.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if wh == 0 || neg == 0 || topic == 0 {
+		t.Errorf("markers: wh=%d neg=%d topic=%d", wh, neg, topic)
+	}
+	// No negative times survive shifting.
+	for i := range db.Sequences {
+		for _, iv := range db.Sequences[i].Intervals {
+			if iv.Start < 0 {
+				t.Fatalf("negative start %v", iv)
+			}
+		}
+	}
+	// The wh marker must be frequent enough to mine at its planted rate.
+	sup := db.SymbolSupport()
+	if sup["face.wh"] != wh {
+		t.Errorf("face.wh support %d != planted %d", sup["face.wh"], wh)
+	}
+}
+
+func TestLibraryGenerator(t *testing.T) {
+	db, students, series := Library(LibraryConfig{NumBorrowers: 200, Seed: 12})
+	if db.Len() != 200 {
+		t.Fatalf("borrowers = %d", db.Len())
+	}
+	if err := db.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if students == 0 || series == 0 {
+		t.Errorf("planted behaviours: students=%d series=%d", students, series)
+	}
+	sup := db.SymbolSupport()
+	if sup["textbook"] != students || sup["reference"] != students {
+		t.Errorf("textbook/reference supports %d/%d != students %d",
+			sup["textbook"], sup["reference"], students)
+	}
+	// Series readers borrow overlapping fiction volumes.
+	p, err := TemplatePattern([]interval.Interval{
+		{Symbol: "fiction", Start: 0, End: 21},
+		{Symbol: "fiction", Start: 18, End: 39},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pattern.SupportAny(db, p); got < series {
+		t.Errorf("overlapping-fiction support %d < series readers %d", got, series)
+	}
+}
+
+func TestPoissonAndExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, 6))
+	}
+	if mean := sum / n; mean < 5.5 || mean > 6.5 {
+		t.Errorf("poisson mean %v far from 6", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("poisson of non-positive mean should be 0")
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += float64(exponential(rng, 10))
+	}
+	if mean := sum / n; mean < 8.5 || mean > 11.5 {
+		t.Errorf("exponential mean %v far from 10", mean)
+	}
+	if exponential(rng, 0) != 0 {
+		t.Error("exponential of zero mean should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pick := zipfSymbols(rng, 20)
+	counts := make([]int, 20)
+	for i := 0; i < 10000; i++ {
+		counts[pick()]++
+	}
+	if counts[0] < counts[10]*2 {
+		t.Errorf("zipf not skewed: top=%d mid=%d", counts[0], counts[10])
+	}
+	one := zipfSymbols(rng, 1)
+	if one() != 0 {
+		t.Error("single-symbol zipf must return 0")
+	}
+}
+
+func TestQuestName(t *testing.T) {
+	if got := (QuestConfig{NumSequences: 10000, AvgIntervals: 10, NumSymbols: 100}).Name(); got != "D10k-C10-N100" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (QuestConfig{NumSequences: 123, AvgIntervals: 5, NumSymbols: 7}).Name(); got != "D123-C5-N7" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpminer/internal/interval"
+)
+
+// LibraryConfig parameterizes the simulated library-loan dataset: one
+// sequence per borrower, one interval per loan (genre symbol, checkout
+// day to return day). Two behaviours are planted:
+//
+//	exam season:   textbook loans cluster and overlap reference loans
+//	               (reference during textbook).
+//	series reader: consecutive fiction loans where the next volume is
+//	               borrowed just before the previous is returned
+//	               (fiction overlaps fiction).
+type LibraryConfig struct {
+	NumBorrowers int
+	// AvgLoans is the average number of loans per borrower.
+	AvgLoans int
+	// StudentProb is the fraction of borrowers with exam-season
+	// behaviour; SeriesProb the fraction with series-reading behaviour.
+	StudentProb, SeriesProb float64
+	Seed                    int64
+}
+
+func (c LibraryConfig) withDefaults() LibraryConfig {
+	if c.NumBorrowers == 0 {
+		c.NumBorrowers = 400
+	}
+	if c.AvgLoans == 0 {
+		c.AvgLoans = 6
+	}
+	if c.StudentProb == 0 {
+		c.StudentProb = 0.4
+	}
+	if c.SeriesProb == 0 {
+		c.SeriesProb = 0.3
+	}
+	return c
+}
+
+var libraryGenres = []string{
+	"history", "science", "travel", "cooking", "biography", "poetry",
+}
+
+// Library generates the simulated loan database. It returns the database
+// and the planted behaviour counts (students, seriesReaders).
+// Deterministic per Seed.
+func Library(cfg LibraryConfig) (db *interval.Database, students, seriesReaders int) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	const horizon = 365
+	db = &interval.Database{Sequences: make([]interval.Sequence, cfg.NumBorrowers)}
+	for b := 0; b < cfg.NumBorrowers; b++ {
+		var ivs []interval.Interval
+
+		if rng.Float64() < cfg.StudentProb {
+			// Exam season: a long textbook loan containing a shorter
+			// reference loan.
+			examStart := 100 + rng.Int63n(60)
+			ivs = append(ivs,
+				interval.Interval{Symbol: "textbook", Start: examStart, End: examStart + 40},
+				interval.Interval{Symbol: "reference", Start: examStart + 10, End: examStart + 25},
+			)
+			students++
+		}
+		if rng.Float64() < cfg.SeriesProb {
+			// Series reading: each next volume borrowed shortly before
+			// the previous return.
+			t := rng.Int63n(120)
+			vols := 2 + rng.Intn(3)
+			for v := 0; v < vols; v++ {
+				ivs = append(ivs, interval.Interval{
+					Symbol: "fiction", Start: t, End: t + 21,
+				})
+				t += 18 // 3-day overlap with the previous volume
+			}
+			seriesReaders++
+		}
+		// Background loans.
+		n := poisson(rng, float64(cfg.AvgLoans))
+		for i := 0; i < n; i++ {
+			start := rng.Int63n(horizon - 30)
+			dur := 7 + exponential(rng, 14)
+			if dur > 60 {
+				dur = 60
+			}
+			ivs = append(ivs, interval.Interval{
+				Symbol: libraryGenres[rng.Intn(len(libraryGenres))],
+				Start:  start,
+				End:    start + dur,
+			})
+		}
+
+		seq := interval.Sequence{ID: fmt.Sprintf("b%04d", b), Intervals: ivs}
+		seq.Normalize()
+		db.Sequences[b] = seq
+	}
+	return db, students, seriesReaders
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpminer/internal/interval"
+)
+
+// PatientConfig parameterizes the simulated clinical dataset: one
+// sequence per patient, one interval per active-condition or treatment
+// span (in days since first contact). Three clinically-shaped episode
+// templates are planted:
+//
+//	infection episode:  fever during infection, antibiotic overlapped-by
+//	                    fever (starts while fever is active, ends after)
+//	chronic episode:    diabetes during hypertension (long co-active
+//	                    spans)
+//	pain episode:       pain before opioid, opioid overlaps insomnia
+//
+// plus background noise conditions. The practicability experiment checks
+// that the planted arrangements surface among the top patterns.
+type PatientConfig struct {
+	NumPatients int
+	// EpisodeProb is the probability a patient has each episode type.
+	EpisodeProb float64
+	// NoiseConditions is the average number of unrelated condition
+	// intervals per patient.
+	NoiseConditions int
+	Seed            int64
+}
+
+func (c PatientConfig) withDefaults() PatientConfig {
+	if c.NumPatients == 0 {
+		c.NumPatients = 500
+	}
+	if c.EpisodeProb == 0 {
+		c.EpisodeProb = 0.4
+	}
+	if c.NoiseConditions == 0 {
+		c.NoiseConditions = 4
+	}
+	return c
+}
+
+// patientNoise is the alphabet of background conditions.
+var patientNoise = []string{
+	"asthma", "allergy", "migraine", "dermatitis", "anemia",
+	"bronchitis", "sinusitis", "gastritis", "arthritis", "vertigo",
+}
+
+// patientEpisodes returns the planted episode templates with concrete
+// relative times (days). Relations are preserved by every embedding.
+func patientEpisodes() []Planted {
+	templates := [][]interval.Interval{
+		{
+			{Symbol: "infection", Start: 0, End: 14},
+			{Symbol: "fever", Start: 2, End: 9},
+			{Symbol: "antibiotic", Start: 4, End: 12},
+		},
+		{
+			{Symbol: "hypertension", Start: 0, End: 60},
+			{Symbol: "diabetes", Start: 10, End: 50},
+		},
+		{
+			{Symbol: "pain", Start: 0, End: 6},
+			{Symbol: "opioid", Start: 8, End: 20},
+			{Symbol: "insomnia", Start: 15, End: 30},
+		},
+	}
+	out := make([]Planted, len(templates))
+	for i, tpl := range templates {
+		seq := interval.Sequence{Intervals: tpl}
+		seq.Normalize()
+		pat, err := TemplatePattern(seq.Intervals)
+		if err != nil {
+			// Templates are static and valid by construction.
+			panic(fmt.Sprintf("gen: bad patient template %d: %v", i, err))
+		}
+		out[i] = Planted{Template: seq.Intervals, Pattern: pat}
+	}
+	return out
+}
+
+// Patients generates the simulated clinical database and returns the
+// planted episode ground truth with embedding counts. Deterministic per
+// Seed.
+func Patients(cfg PatientConfig) (*interval.Database, []Planted) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	episodes := patientEpisodes()
+
+	const horizon = 365
+	db := &interval.Database{Sequences: make([]interval.Sequence, cfg.NumPatients)}
+	for p := 0; p < cfg.NumPatients; p++ {
+		var ivs []interval.Interval
+		for ei := range episodes {
+			if rng.Float64() >= cfg.EpisodeProb {
+				continue
+			}
+			span := templateSpan(episodes[ei].Template)
+			off := rng.Int63n(horizon - span)
+			ivs = embed(ivs, episodes[ei].Template, off, 1)
+			episodes[ei].Embeddings++
+		}
+		n := poisson(rng, float64(cfg.NoiseConditions))
+		for i := 0; i < n; i++ {
+			start := rng.Int63n(horizon)
+			dur := 1 + exponential(rng, 10)
+			if start+dur > horizon {
+				dur = horizon - start
+			}
+			ivs = append(ivs, interval.Interval{
+				Symbol: patientNoise[rng.Intn(len(patientNoise))],
+				Start:  start,
+				End:    start + dur,
+			})
+		}
+		seq := interval.Sequence{ID: fmt.Sprintf("p%04d", p), Intervals: ivs}
+		seq.Normalize()
+		db.Sequences[p] = seq
+	}
+	return db, episodes
+}

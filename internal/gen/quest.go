@@ -1,0 +1,195 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// QuestConfig parameterizes the Quest-style synthetic generator with the
+// conventional knobs of the pattern-mining literature:
+//
+//	|D| NumSequences      number of sequences
+//	|C| AvgIntervals      average intervals per sequence (Poisson)
+//	|N| NumSymbols        alphabet size
+//	|S| NumTemplates      number of potentially-frequent arrangements
+//	|I| AvgTemplateSize   average intervals per planted arrangement
+//
+// Datasets are conventionally named like "D10k-C10-N100".
+type QuestConfig struct {
+	NumSequences    int
+	AvgIntervals    int
+	NumSymbols      int
+	NumTemplates    int
+	AvgTemplateSize int
+	// TemplateProb is the probability that a sequence embeds a planted
+	// arrangement (a second, independent embedding happens with
+	// TemplateProb/2).
+	TemplateProb float64
+	// Horizon is the time span of one sequence.
+	Horizon int64
+	// AvgDuration is the mean duration of noise intervals.
+	AvgDuration int64
+	Seed        int64
+}
+
+// withDefaults fills unset fields with the defaults used throughout the
+// evaluation.
+func (c QuestConfig) withDefaults() QuestConfig {
+	if c.NumSequences == 0 {
+		c.NumSequences = 1000
+	}
+	if c.AvgIntervals == 0 {
+		c.AvgIntervals = 10
+	}
+	if c.NumSymbols == 0 {
+		c.NumSymbols = 100
+	}
+	if c.NumTemplates == 0 {
+		c.NumTemplates = 10
+	}
+	if c.AvgTemplateSize == 0 {
+		c.AvgTemplateSize = 3
+	}
+	if c.TemplateProb == 0 {
+		c.TemplateProb = 0.5
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1000
+	}
+	if c.AvgDuration == 0 {
+		c.AvgDuration = 100
+	}
+	return c
+}
+
+// Name renders the conventional dataset name, e.g. "D10k-C10-N100".
+func (c QuestConfig) Name() string {
+	c = c.withDefaults()
+	d := fmt.Sprintf("%d", c.NumSequences)
+	if c.NumSequences%1000 == 0 {
+		d = fmt.Sprintf("%dk", c.NumSequences/1000)
+	}
+	return fmt.Sprintf("D%s-C%d-N%d", d, c.AvgIntervals, c.NumSymbols)
+}
+
+// Planted describes one ground-truth arrangement the generator embeds.
+type Planted struct {
+	// Template is the arrangement with concrete relative times.
+	Template []interval.Interval
+	// Pattern is the temporal pattern every embedding matches.
+	Pattern pattern.Temporal
+	// Embeddings counts the sequences that received the template.
+	Embeddings int
+}
+
+// Quest generates a synthetic interval database and reports the planted
+// arrangements. Deterministic per Seed.
+func Quest(cfg QuestConfig) (*interval.Database, []Planted, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	templates, err := questTemplates(rng, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pickTemplate := zipfSymbols(rng, len(templates))
+	pickSymbol := zipfSymbols(rng, cfg.NumSymbols)
+
+	db := &interval.Database{Sequences: make([]interval.Sequence, cfg.NumSequences)}
+	for s := 0; s < cfg.NumSequences; s++ {
+		var ivs []interval.Interval
+		planted := 0
+		p := cfg.TemplateProb
+		for p > 0 && rng.Float64() < p {
+			ti := pickTemplate()
+			t := &templates[ti]
+			span := templateSpan(t.Template)
+			maxOff := cfg.Horizon - span
+			if maxOff < 0 {
+				maxOff = 0
+			}
+			off := rng.Int63n(maxOff + 1)
+			scale := int64(1 + rng.Intn(2))
+			if off+span*scale > cfg.Horizon {
+				scale = 1
+			}
+			ivs = embed(ivs, t.Template, off, scale)
+			t.Embeddings++
+			planted += len(t.Template)
+			p /= 2
+		}
+		// Fill with noise up to the target length.
+		target := poisson(rng, float64(cfg.AvgIntervals))
+		for len(ivs) < target {
+			start := rng.Int63n(cfg.Horizon)
+			dur := exponential(rng, float64(cfg.AvgDuration))
+			if start+dur > cfg.Horizon {
+				dur = cfg.Horizon - start
+			}
+			ivs = append(ivs, interval.Interval{
+				Symbol: fmt.Sprintf("e%d", pickSymbol()),
+				Start:  start,
+				End:    start + dur,
+			})
+		}
+		seq := interval.Sequence{ID: fmt.Sprintf("q%d", s), Intervals: ivs}
+		seq.Normalize()
+		db.Sequences[s] = seq
+	}
+	return db, templates, nil
+}
+
+// questTemplates draws the potentially-frequent arrangements: 2–5
+// intervals with random relative spans inside a window, so all Allen
+// relations occur among them.
+func questTemplates(rng *rand.Rand, cfg QuestConfig) ([]Planted, error) {
+	pickSymbol := zipfSymbols(rng, cfg.NumSymbols)
+	out := make([]Planted, cfg.NumTemplates)
+	for i := range out {
+		n := poisson(rng, float64(cfg.AvgTemplateSize))
+		if n < 2 {
+			n = 2
+		}
+		if n > 5 {
+			n = 5
+		}
+		window := int64(100)
+		used := make(map[string]bool, n)
+		var tpl []interval.Interval
+		for len(tpl) < n {
+			sym := fmt.Sprintf("e%d", pickSymbol())
+			if used[sym] {
+				continue // keep template symbols distinct for clarity
+			}
+			used[sym] = true
+			start := rng.Int63n(window)
+			dur := 1 + rng.Int63n(window/2)
+			end := start + dur
+			if end > window {
+				end = window
+			}
+			tpl = append(tpl, interval.Interval{Symbol: sym, Start: start, End: end})
+		}
+		seq := interval.Sequence{Intervals: tpl}
+		seq.Normalize()
+		pat, err := TemplatePattern(seq.Intervals)
+		if err != nil {
+			return nil, fmt.Errorf("gen: template %d: %w", i, err)
+		}
+		out[i] = Planted{Template: seq.Intervals, Pattern: pat}
+	}
+	return out, nil
+}
+
+func templateSpan(tpl []interval.Interval) int64 {
+	var span int64
+	for _, iv := range tpl {
+		if iv.End > span {
+			span = iv.End
+		}
+	}
+	return span
+}

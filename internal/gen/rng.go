@@ -1,0 +1,91 @@
+// Package gen provides the workload generators of the evaluation: a
+// Quest-style synthetic interval-sequence generator (substituting for
+// IBM's closed-source Quest data generator) and four domain simulators
+// that substitute for the real datasets of the paper's practicability
+// study — ASL-like gesture utterances, stock trend intervals, patient
+// diagnosis histories, and library loan records. All generators are
+// deterministic for a given seed and return the ground-truth arrangements
+// they plant, so recovery can be verified.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method (fine for the small means used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 { // numerical guard; unreachable for sane means
+			return k
+		}
+	}
+}
+
+// exponential draws a non-negative integer duration with the given mean.
+func exponential(rng *rand.Rand, mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	return int64(rng.ExpFloat64() * mean)
+}
+
+// zipfSymbols returns a generator of symbol indices in [0, n) with a
+// mildly skewed (Zipf s=1.1) distribution, so some symbols are much more
+// frequent than others — the shape pattern-mining workloads assume.
+func zipfSymbols(rng *rand.Rand, n int) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	z := rand.NewZipf(rng, 1.1, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// TemplatePattern converts a set of template intervals (an arrangement
+// expressed with concrete relative times) into the temporal pattern that
+// any relation-preserving embedding of the template matches. It is how
+// generators express their planted ground truth.
+func TemplatePattern(ivs []interval.Interval) (pattern.Temporal, error) {
+	slices, err := endpoint.Encode(interval.Sequence{ID: "template", Intervals: ivs})
+	if err != nil {
+		return pattern.Temporal{}, err
+	}
+	els := make([][]endpoint.Endpoint, len(slices))
+	for i, sl := range slices {
+		els[i] = sl.Points
+	}
+	return pattern.NewTemporal(els...), nil
+}
+
+// embed shifts a template by offset and stretches it by scale (>= 1),
+// preserving every pairwise Allen relation, and appends the result to
+// dst.
+func embed(dst []interval.Interval, template []interval.Interval, offset int64, scale int64) []interval.Interval {
+	if scale < 1 {
+		scale = 1
+	}
+	for _, iv := range template {
+		dst = append(dst, interval.Interval{
+			Symbol: iv.Symbol,
+			Start:  offset + iv.Start*scale,
+			End:    offset + iv.End*scale,
+		})
+	}
+	return dst
+}

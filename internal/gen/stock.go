@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpminer/internal/interval"
+)
+
+// StockConfig parameterizes the simulated stock dataset that substitutes
+// for the proprietary tick data of the paper's practicability study.
+// One sequence is one trading window (e.g. a month) holding trend
+// intervals for every ticker: maximal runs of rising days become
+// "<ticker>.up" intervals, falling runs "<ticker>.down", and runs of
+// high absolute daily moves "<ticker>.vol".
+//
+// A fraction of windows are market-wide rallies or sell-offs, biasing
+// every ticker in the same direction — this plants the co-occurrence
+// structure (overlapping same-direction trends across tickers) that the
+// case study is expected to surface.
+type StockConfig struct {
+	NumWindows    int
+	NumTickers    int
+	DaysPerWindow int
+	// RegimeProb is the probability that a window is a market-wide
+	// rally (half of the regimes) or sell-off (the other half).
+	RegimeProb float64
+	Seed       int64
+}
+
+func (c StockConfig) withDefaults() StockConfig {
+	if c.NumWindows == 0 {
+		c.NumWindows = 500
+	}
+	if c.NumTickers == 0 {
+		c.NumTickers = 8
+	}
+	if c.DaysPerWindow == 0 {
+		c.DaysPerWindow = 22
+	}
+	if c.RegimeProb == 0 {
+		c.RegimeProb = 0.3
+	}
+	return c
+}
+
+// Stock generates the simulated stock trend database. Deterministic per
+// Seed. It returns the database and, for reporting, the number of rally
+// and sell-off windows planted.
+func Stock(cfg StockConfig) (db *interval.Database, rallies, selloffs int) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	db = &interval.Database{Sequences: make([]interval.Sequence, cfg.NumWindows)}
+	for w := 0; w < cfg.NumWindows; w++ {
+		bias := 0.0
+		regime := "flat"
+		if rng.Float64() < cfg.RegimeProb {
+			if rng.Float64() < 0.5 {
+				bias, regime = 0.8, "rally"
+				rallies++
+			} else {
+				bias, regime = -0.8, "selloff"
+				selloffs++
+			}
+		}
+		var ivs []interval.Interval
+		for t := 0; t < cfg.NumTickers; t++ {
+			ticker := fmt.Sprintf("T%d", t)
+			ivs = append(ivs, tickerTrends(rng, ticker, cfg.DaysPerWindow, bias)...)
+		}
+		seq := interval.Sequence{ID: fmt.Sprintf("w%d-%s", w, regime), Intervals: ivs}
+		seq.Normalize()
+		db.Sequences[w] = seq
+	}
+	return db, rallies, selloffs
+}
+
+// tickerTrends simulates one ticker's daily moves for a window and emits
+// its maximal trend and volatility run intervals.
+func tickerTrends(rng *rand.Rand, ticker string, days int, bias float64) []interval.Interval {
+	moves := make([]float64, days)
+	for d := range moves {
+		moves[d] = rng.NormFloat64() + bias
+	}
+
+	var ivs []interval.Interval
+	emitRuns := func(kind string, in func(float64) bool) {
+		runStart := -1
+		for d := 0; d <= days; d++ {
+			inside := d < days && in(moves[d])
+			switch {
+			case inside && runStart < 0:
+				runStart = d
+			case !inside && runStart >= 0:
+				if d-runStart >= 2 { // ignore one-day blips
+					ivs = append(ivs, interval.Interval{
+						Symbol: ticker + "." + kind,
+						Start:  int64(runStart),
+						End:    int64(d - 1),
+					})
+				}
+				runStart = -1
+			}
+		}
+	}
+	emitRuns("up", func(m float64) bool { return m > 0.1 })
+	emitRuns("down", func(m float64) bool { return m < -0.1 })
+	emitRuns("vol", func(m float64) bool { return m > 1.5 || m < -1.5 })
+	return ivs
+}

@@ -1,0 +1,24 @@
+package interval
+
+import "testing"
+
+// FuzzParse: the interval parser must never panic; accepted inputs must
+// be valid and round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"A[1,5]", "A[5,1]", "x[", "[1,2]", "A[-3,0]", "A[1,5", "s.y[3,3]"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		iv, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if vErr := iv.Valid(); vErr != nil {
+			t.Fatalf("accepted %q but invalid: %v", s, vErr)
+		}
+		back, err := Parse(iv.String())
+		if err != nil || back != iv {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", s, iv, back, err)
+		}
+	})
+}

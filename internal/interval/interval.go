@@ -1,0 +1,296 @@
+// Package interval defines the event-interval data model used throughout
+// the miner: event intervals, interval sequences, temporal databases, and
+// Allen's thirteen temporal relations.
+//
+// An event interval is a symbol together with a closed time span
+// [Start, End]. A sequence is an ordered collection of intervals observed
+// for one entity (a patient, a ticker, an utterance, ...). A database is a
+// set of such sequences; pattern support is counted per sequence.
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is the discrete timestamp type used for interval endpoints.
+// All algorithms only compare and subtract times, so any consistent
+// integer granularity (seconds, days, ticks) works.
+type Time = int64
+
+// Interval is a single event interval: Symbol is active during the closed
+// span [Start, End]. Start must be <= End; point events (Start == End) are
+// permitted.
+type Interval struct {
+	Symbol string
+	Start  Time
+	End    Time
+}
+
+// Duration returns the length of the interval span. A point event has
+// duration zero.
+func (iv Interval) Duration() Time { return iv.End - iv.Start }
+
+// IsPoint reports whether the interval is an instantaneous (point) event.
+func (iv Interval) IsPoint() bool { return iv.Start == iv.End }
+
+// Valid reports whether the interval is well formed: a non-empty symbol
+// and Start <= End.
+func (iv Interval) Valid() error {
+	if iv.Symbol == "" {
+		return fmt.Errorf("interval: empty symbol in [%d,%d]", iv.Start, iv.End)
+	}
+	if iv.Start > iv.End {
+		return fmt.Errorf("interval: %s has start %d after end %d", iv.Symbol, iv.Start, iv.End)
+	}
+	return nil
+}
+
+// String renders the interval as "Symbol[Start,End]".
+func (iv Interval) String() string {
+	return fmt.Sprintf("%s[%d,%d]", iv.Symbol, iv.Start, iv.End)
+}
+
+// Less imposes the canonical ordering on intervals: by start time, then
+// end time, then symbol. Sequences are normalized into this order before
+// encoding so that occurrence indices are deterministic.
+func (iv Interval) Less(other Interval) bool {
+	if iv.Start != other.Start {
+		return iv.Start < other.Start
+	}
+	if iv.End != other.End {
+		return iv.End < other.End
+	}
+	return iv.Symbol < other.Symbol
+}
+
+// Sequence is one entity's ordered list of event intervals. The ID is
+// carried through from input data for reporting; algorithms identify
+// sequences by position in the database.
+type Sequence struct {
+	ID        string
+	Intervals []Interval
+}
+
+// Normalize sorts the intervals into canonical order (start, end, symbol)
+// in place and returns the sequence for chaining.
+func (s *Sequence) Normalize() *Sequence {
+	sort.Slice(s.Intervals, func(i, j int) bool {
+		return s.Intervals[i].Less(s.Intervals[j])
+	})
+	return s
+}
+
+// Normalized reports whether the intervals are already in canonical order.
+func (s *Sequence) Normalized() bool {
+	return sort.SliceIsSorted(s.Intervals, func(i, j int) bool {
+		return s.Intervals[i].Less(s.Intervals[j])
+	})
+}
+
+// Valid checks every interval in the sequence.
+func (s *Sequence) Valid() error {
+	for i, iv := range s.Intervals {
+		if err := iv.Valid(); err != nil {
+			return fmt.Errorf("sequence %q, interval %d: %w", s.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the sequence.
+func (s *Sequence) Clone() Sequence {
+	out := Sequence{ID: s.ID, Intervals: make([]Interval, len(s.Intervals))}
+	copy(out.Intervals, s.Intervals)
+	return out
+}
+
+// Span returns the earliest start and latest end over all intervals.
+// ok is false for an empty sequence.
+func (s *Sequence) Span() (start, end Time, ok bool) {
+	if len(s.Intervals) == 0 {
+		return 0, 0, false
+	}
+	start, end = s.Intervals[0].Start, s.Intervals[0].End
+	for _, iv := range s.Intervals[1:] {
+		if iv.Start < start {
+			start = iv.Start
+		}
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return start, end, true
+}
+
+// Symbols returns the distinct symbols in the sequence, sorted.
+func (s *Sequence) Symbols() []string {
+	set := make(map[string]struct{}, len(s.Intervals))
+	for _, iv := range s.Intervals {
+		set[iv.Symbol] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for sym := range set {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the sequence as "id: A[1,3] B[2,5] ...".
+func (s *Sequence) String() string {
+	var b strings.Builder
+	if s.ID != "" {
+		b.WriteString(s.ID)
+		b.WriteString(": ")
+	}
+	for i, iv := range s.Intervals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(iv.String())
+	}
+	return b.String()
+}
+
+// Database is a collection of interval sequences. Pattern support is the
+// number of sequences that contain the pattern.
+type Database struct {
+	Sequences []Sequence
+}
+
+// NewDatabase builds a database from bare interval slices, assigning
+// sequence IDs "s0", "s1", ... . Convenient for tests and examples.
+func NewDatabase(seqs ...[]Interval) *Database {
+	db := &Database{Sequences: make([]Sequence, len(seqs))}
+	for i, ivs := range seqs {
+		db.Sequences[i] = Sequence{ID: fmt.Sprintf("s%d", i), Intervals: ivs}
+	}
+	return db
+}
+
+// Len returns the number of sequences.
+func (db *Database) Len() int { return len(db.Sequences) }
+
+// NumIntervals returns the total interval count across all sequences.
+func (db *Database) NumIntervals() int {
+	n := 0
+	for i := range db.Sequences {
+		n += len(db.Sequences[i].Intervals)
+	}
+	return n
+}
+
+// Normalize canonicalizes every sequence in place and returns db.
+func (db *Database) Normalize() *Database {
+	for i := range db.Sequences {
+		db.Sequences[i].Normalize()
+	}
+	return db
+}
+
+// Valid checks every sequence in the database.
+func (db *Database) Valid() error {
+	for i := range db.Sequences {
+		if err := db.Sequences[i].Valid(); err != nil {
+			return fmt.Errorf("database sequence %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := &Database{Sequences: make([]Sequence, len(db.Sequences))}
+	for i := range db.Sequences {
+		out.Sequences[i] = db.Sequences[i].Clone()
+	}
+	return out
+}
+
+// Symbols returns the distinct symbols across the database, sorted.
+func (db *Database) Symbols() []string {
+	set := make(map[string]struct{})
+	for i := range db.Sequences {
+		for _, iv := range db.Sequences[i].Intervals {
+			set[iv.Symbol] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for sym := range set {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SymbolSupport returns, for every symbol, the number of sequences in
+// which it occurs at least once.
+func (db *Database) SymbolSupport() map[string]int {
+	out := make(map[string]int)
+	for i := range db.Sequences {
+		seen := make(map[string]struct{})
+		for _, iv := range db.Sequences[i].Intervals {
+			if _, ok := seen[iv.Symbol]; ok {
+				continue
+			}
+			seen[iv.Symbol] = struct{}{}
+			out[iv.Symbol]++
+		}
+	}
+	return out
+}
+
+// Stats summarizes a database for reporting.
+type Stats struct {
+	Sequences   int
+	Intervals   int
+	Symbols     int
+	MinSeqLen   int
+	MaxSeqLen   int
+	AvgSeqLen   float64
+	AvgDuration float64
+	SpanStart   Time
+	SpanEnd     Time
+}
+
+// Summarize computes database statistics.
+func (db *Database) Summarize() Stats {
+	st := Stats{Sequences: db.Len()}
+	if st.Sequences == 0 {
+		return st
+	}
+	st.MinSeqLen = len(db.Sequences[0].Intervals)
+	first := true
+	var durSum float64
+	for i := range db.Sequences {
+		n := len(db.Sequences[i].Intervals)
+		st.Intervals += n
+		if n < st.MinSeqLen {
+			st.MinSeqLen = n
+		}
+		if n > st.MaxSeqLen {
+			st.MaxSeqLen = n
+		}
+		for _, iv := range db.Sequences[i].Intervals {
+			durSum += float64(iv.Duration())
+			if first {
+				st.SpanStart, st.SpanEnd = iv.Start, iv.End
+				first = false
+			}
+			if iv.Start < st.SpanStart {
+				st.SpanStart = iv.Start
+			}
+			if iv.End > st.SpanEnd {
+				st.SpanEnd = iv.End
+			}
+		}
+	}
+	st.Symbols = len(db.Symbols())
+	st.AvgSeqLen = float64(st.Intervals) / float64(st.Sequences)
+	if st.Intervals > 0 {
+		st.AvgDuration = durSum / float64(st.Intervals)
+	}
+	return st
+}

@@ -1,0 +1,229 @@
+package interval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalValid(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		ok   bool
+		name string
+	}{
+		{Interval{"A", 1, 5}, true, "normal"},
+		{Interval{"A", 3, 3}, true, "point"},
+		{Interval{"", 1, 5}, false, "empty symbol"},
+		{Interval{"A", 5, 1}, false, "reversed"},
+		{Interval{"A", -10, -2}, true, "negative times"},
+	}
+	for _, c := range cases {
+		err := c.iv.Valid()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Valid() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestIntervalAccessors(t *testing.T) {
+	iv := Interval{"A", 2, 7}
+	if got := iv.Duration(); got != 5 {
+		t.Errorf("Duration = %d, want 5", got)
+	}
+	if iv.IsPoint() {
+		t.Error("IsPoint true for non-point")
+	}
+	if !(Interval{"A", 3, 3}).IsPoint() {
+		t.Error("IsPoint false for point")
+	}
+	if got := iv.String(); got != "A[2,7]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIntervalLessOrdering(t *testing.T) {
+	a := Interval{"A", 1, 5}
+	b := Interval{"A", 1, 6}
+	c := Interval{"B", 1, 5}
+	d := Interval{"A", 2, 3}
+	if !a.Less(b) || !a.Less(c) || !a.Less(d) {
+		t.Error("Less violates (start, end, symbol) order")
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+	if b.Less(a) || c.Less(a) || d.Less(a) {
+		t.Error("Less not antisymmetric")
+	}
+}
+
+func TestSequenceNormalize(t *testing.T) {
+	s := Sequence{ID: "x", Intervals: []Interval{
+		{"B", 3, 9}, {"A", 1, 5}, {"A", 1, 3},
+	}}
+	if s.Normalized() {
+		t.Error("unexpectedly normalized")
+	}
+	s.Normalize()
+	if !s.Normalized() {
+		t.Error("Normalize did not normalize")
+	}
+	want := []Interval{{"A", 1, 3}, {"A", 1, 5}, {"B", 3, 9}}
+	for i, iv := range want {
+		if s.Intervals[i] != iv {
+			t.Fatalf("interval %d = %v, want %v", i, s.Intervals[i], iv)
+		}
+	}
+}
+
+func TestSequenceSpanAndSymbols(t *testing.T) {
+	var empty Sequence
+	if _, _, ok := empty.Span(); ok {
+		t.Error("Span ok on empty sequence")
+	}
+	s := Sequence{Intervals: []Interval{{"B", 3, 9}, {"A", 1, 5}}}
+	start, end, ok := s.Span()
+	if !ok || start != 1 || end != 9 {
+		t.Errorf("Span = %d,%d,%v; want 1,9,true", start, end, ok)
+	}
+	syms := s.Symbols()
+	if len(syms) != 2 || syms[0] != "A" || syms[1] != "B" {
+		t.Errorf("Symbols = %v", syms)
+	}
+}
+
+func TestSequenceCloneIsDeep(t *testing.T) {
+	s := Sequence{ID: "x", Intervals: []Interval{{"A", 1, 5}}}
+	c := s.Clone()
+	c.Intervals[0].Symbol = "Z"
+	if s.Intervals[0].Symbol != "A" {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := Sequence{ID: "s1", Intervals: []Interval{{"A", 1, 5}, {"B", 3, 9}}}
+	if got := s.String(); got != "s1: A[1,5] B[3,9]" {
+		t.Errorf("String = %q", got)
+	}
+	anon := Sequence{Intervals: []Interval{{"A", 1, 5}}}
+	if got := anon.String(); got != "A[1,5]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase(
+		[]Interval{{"A", 1, 5}, {"B", 3, 9}},
+		[]Interval{{"A", 2, 4}},
+		nil,
+	)
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if db.NumIntervals() != 3 {
+		t.Errorf("NumIntervals = %d", db.NumIntervals())
+	}
+	if got := db.Symbols(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Symbols = %v", got)
+	}
+	sup := db.SymbolSupport()
+	if sup["A"] != 2 || sup["B"] != 1 {
+		t.Errorf("SymbolSupport = %v", sup)
+	}
+	if err := db.Valid(); err != nil {
+		t.Errorf("Valid: %v", err)
+	}
+	if db.Sequences[0].ID != "s0" || db.Sequences[2].ID != "s2" {
+		t.Errorf("auto IDs wrong: %q %q", db.Sequences[0].ID, db.Sequences[2].ID)
+	}
+}
+
+func TestDatabaseValidPropagatesError(t *testing.T) {
+	db := NewDatabase([]Interval{{"A", 5, 1}})
+	err := db.Valid()
+	if err == nil {
+		t.Fatal("Valid accepted reversed interval")
+	}
+	if !strings.Contains(err.Error(), "A") {
+		t.Errorf("error %q does not mention the symbol", err)
+	}
+}
+
+func TestDatabaseCloneIsDeep(t *testing.T) {
+	db := NewDatabase([]Interval{{"A", 1, 5}})
+	c := db.Clone()
+	c.Sequences[0].Intervals[0].Symbol = "Z"
+	if db.Sequences[0].Intervals[0].Symbol != "A" {
+		t.Error("Clone shares interval storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := NewDatabase(
+		[]Interval{{"A", 0, 10}, {"B", 5, 15}},
+		[]Interval{{"C", -5, 0}},
+	)
+	st := db.Summarize()
+	if st.Sequences != 2 || st.Intervals != 3 || st.Symbols != 3 {
+		t.Errorf("counts: %+v", st)
+	}
+	if st.MinSeqLen != 1 || st.MaxSeqLen != 2 {
+		t.Errorf("lens: %+v", st)
+	}
+	if st.SpanStart != -5 || st.SpanEnd != 15 {
+		t.Errorf("span: %+v", st)
+	}
+	if st.AvgSeqLen != 1.5 {
+		t.Errorf("AvgSeqLen = %v", st.AvgSeqLen)
+	}
+	if empty := (&Database{}).Summarize(); empty.Sequences != 0 {
+		t.Errorf("empty Summarize: %+v", empty)
+	}
+}
+
+// TestNormalizeIdempotent is a property test: Normalize twice equals
+// Normalize once, and Normalize never changes the multiset of intervals.
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(starts []int8, durs []uint8) bool {
+		n := len(starts)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		s := Sequence{}
+		for i := 0; i < n; i++ {
+			s.Intervals = append(s.Intervals, Interval{
+				Symbol: string(rune('A' + i%3)),
+				Start:  int64(starts[i]),
+				End:    int64(starts[i]) + int64(durs[i]),
+			})
+		}
+		count := make(map[Interval]int)
+		for _, iv := range s.Intervals {
+			count[iv]++
+		}
+		s.Normalize()
+		once := s.Clone()
+		s.Normalize()
+		if len(once.Intervals) != len(s.Intervals) {
+			return false
+		}
+		for i := range s.Intervals {
+			if once.Intervals[i] != s.Intervals[i] {
+				return false
+			}
+			count[s.Intervals[i]]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return s.Normalized()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package interval
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse inverts Interval.String: "Symbol[Start,End]". The symbol may
+// contain any characters except '['.
+func Parse(s string) (Interval, error) {
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || !strings.HasSuffix(s, "]") {
+		return Interval{}, fmt.Errorf("interval: %q is not of the form Symbol[start,end]", s)
+	}
+	body := s[open+1 : len(s)-1]
+	comma := strings.IndexByte(body, ',')
+	if comma < 0 {
+		return Interval{}, fmt.Errorf("interval: %q is missing ',' between start and end", s)
+	}
+	start, err := strconv.ParseInt(strings.TrimSpace(body[:comma]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: %q has invalid start: %v", s, err)
+	}
+	end, err := strconv.ParseInt(strings.TrimSpace(body[comma+1:]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: %q has invalid end: %v", s, err)
+	}
+	iv := Interval{Symbol: s[:open], Start: start, End: end}
+	if err := iv.Valid(); err != nil {
+		return Interval{}, err
+	}
+	return iv, nil
+}

@@ -1,0 +1,137 @@
+package interval
+
+import "fmt"
+
+// Relation is one of Allen's thirteen qualitative relations between two
+// intervals A and B. The zero value is invalid; use Relate to compute the
+// relation that holds between two concrete intervals.
+type Relation uint8
+
+// Allen's thirteen interval relations. The first seven are the "forward"
+// relations; the remaining six are their inverses (Equals is its own
+// inverse).
+const (
+	RelInvalid Relation = iota
+
+	Before   // A.End < B.Start
+	Meets    // A.End == B.Start
+	Overlaps // A.Start < B.Start < A.End < B.End
+	Starts   // A.Start == B.Start && A.End < B.End
+	During   // B.Start < A.Start && A.End < B.End
+	Finishes // B.Start < A.Start && A.End == B.End
+	Equals   // identical spans
+
+	After        // inverse of Before
+	MetBy        // inverse of Meets
+	OverlappedBy // inverse of Overlaps
+	StartedBy    // inverse of Starts
+	Contains     // inverse of During
+	FinishedBy   // inverse of Finishes
+
+	numRelations
+)
+
+var relationNames = [numRelations]string{
+	RelInvalid:   "invalid",
+	Before:       "before",
+	Meets:        "meets",
+	Overlaps:     "overlaps",
+	Starts:       "starts",
+	During:       "during",
+	Finishes:     "finishes",
+	Equals:       "equals",
+	After:        "after",
+	MetBy:        "met-by",
+	OverlappedBy: "overlapped-by",
+	StartedBy:    "started-by",
+	Contains:     "contains",
+	FinishedBy:   "finished-by",
+}
+
+// String returns the conventional lowercase name of the relation.
+func (r Relation) String() string {
+	if r >= numRelations {
+		return fmt.Sprintf("Relation(%d)", uint8(r))
+	}
+	return relationNames[r]
+}
+
+var relationInverses = [numRelations]Relation{
+	RelInvalid:   RelInvalid,
+	Before:       After,
+	Meets:        MetBy,
+	Overlaps:     OverlappedBy,
+	Starts:       StartedBy,
+	During:       Contains,
+	Finishes:     FinishedBy,
+	Equals:       Equals,
+	After:        Before,
+	MetBy:        Meets,
+	OverlappedBy: Overlaps,
+	StartedBy:    Starts,
+	Contains:     During,
+	FinishedBy:   Finishes,
+}
+
+// Inverse returns the relation that holds between (B, A) when r holds
+// between (A, B).
+func (r Relation) Inverse() Relation {
+	if r >= numRelations {
+		return RelInvalid
+	}
+	return relationInverses[r]
+}
+
+// Forward reports whether r is one of the seven canonical forward
+// relations (Before, Meets, Overlaps, Starts, During, Finishes, Equals).
+// Every pair of intervals stands in exactly one forward relation once the
+// pair is ordered canonically.
+func (r Relation) Forward() bool { return r >= Before && r <= Equals }
+
+// Relate computes the Allen relation that interval a stands in with
+// respect to interval b. Exactly one of the thirteen relations holds for
+// any pair of well-formed intervals.
+func Relate(a, b Interval) Relation {
+	switch {
+	case a.Start == b.Start && a.End == b.End:
+		return Equals
+	case a.End < b.Start:
+		return Before
+	case b.End < a.Start:
+		return After
+	case a.End == b.Start:
+		return Meets
+	case b.End == a.Start:
+		return MetBy
+	case a.Start == b.Start:
+		if a.End < b.End {
+			return Starts
+		}
+		return StartedBy
+	case a.End == b.End:
+		if a.Start > b.Start {
+			return Finishes
+		}
+		return FinishedBy
+	case a.Start < b.Start && b.Start < a.End && a.End < b.End:
+		return Overlaps
+	case b.Start < a.Start && a.Start < b.End && b.End < a.End:
+		return OverlappedBy
+	case a.Start > b.Start && a.End < b.End:
+		return During
+	default: // b.Start > a.Start && b.End < a.End
+		return Contains
+	}
+}
+
+// RelateEndpoints computes the Allen relation from endpoint *positions*
+// rather than raw times. as, ae are the positions (element indices) of
+// A's start and finish; bs, be those of B. Equal positions mean the
+// endpoints coincide. This is how relations are recovered from temporal
+// patterns, where only the relative arrangement of endpoints is known.
+func RelateEndpoints(as, ae, bs, be int) Relation {
+	return Relate(
+		Interval{Symbol: "a", Start: Time(as), End: Time(ae)},
+		Interval{Symbol: "b", Start: Time(bs), End: Time(be)},
+	)
+}

@@ -1,0 +1,149 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelateAllThirteen(t *testing.T) {
+	a := Interval{Symbol: "a"}
+	b := Interval{Symbol: "b"}
+	cases := []struct {
+		as, ae, bs, be Time
+		want           Relation
+	}{
+		{0, 2, 5, 9, Before},
+		{5, 9, 0, 2, After},
+		{0, 5, 5, 9, Meets},
+		{5, 9, 0, 5, MetBy},
+		{0, 6, 4, 9, Overlaps},
+		{4, 9, 0, 6, OverlappedBy},
+		{0, 4, 0, 9, Starts},
+		{0, 9, 0, 4, StartedBy},
+		{3, 6, 0, 9, During},
+		{0, 9, 3, 6, Contains},
+		{5, 9, 0, 9, Finishes},
+		{0, 9, 5, 9, FinishedBy},
+		{2, 7, 2, 7, Equals},
+	}
+	for _, c := range cases {
+		a.Start, a.End = c.as, c.ae
+		b.Start, b.End = c.bs, c.be
+		if got := Relate(a, b); got != c.want {
+			t.Errorf("Relate(%v,%v) = %v, want %v", a, b, got, c.want)
+		}
+	}
+}
+
+// TestRelateInverseProperty: Relate(a,b) is always the inverse of
+// Relate(b,a), and exactly one of them is a forward relation (or both,
+// when Equals).
+func TestRelateInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a := Interval{Symbol: "a", Start: rng.Int63n(10)}
+		b := Interval{Symbol: "b", Start: rng.Int63n(10)}
+		a.End = a.Start + rng.Int63n(10)
+		b.End = b.Start + rng.Int63n(10)
+		ra, rb := Relate(a, b), Relate(b, a)
+		if ra.Inverse() != rb {
+			t.Fatalf("Relate(%v,%v)=%v but Relate(%v,%v)=%v (inverse %v)",
+				a, b, ra, b, a, rb, ra.Inverse())
+		}
+		if ra == RelInvalid || rb == RelInvalid {
+			t.Fatalf("invalid relation for %v,%v", a, b)
+		}
+		if ra == Equals && rb != Equals {
+			t.Fatalf("Equals not symmetric for %v,%v", a, b)
+		}
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	for r := Before; r < numRelations; r++ {
+		if r.Inverse().Inverse() != r {
+			t.Errorf("Inverse not an involution for %v", r)
+		}
+	}
+	if RelInvalid.Inverse() != RelInvalid {
+		t.Error("invalid relation inverse")
+	}
+	if Relation(200).Inverse() != RelInvalid {
+		t.Error("out-of-range inverse")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if Before.String() != "before" || OverlappedBy.String() != "overlapped-by" {
+		t.Error("relation names wrong")
+	}
+	if Relation(200).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}
+
+func TestForward(t *testing.T) {
+	forwards := []Relation{Before, Meets, Overlaps, Starts, During, Finishes, Equals}
+	for _, r := range forwards {
+		if !r.Forward() {
+			t.Errorf("%v should be forward", r)
+		}
+	}
+	for _, r := range []Relation{After, MetBy, OverlappedBy, StartedBy, Contains, FinishedBy, RelInvalid} {
+		if r.Forward() {
+			t.Errorf("%v should not be forward", r)
+		}
+	}
+}
+
+func TestRelateEndpoints(t *testing.T) {
+	// A+ at 0, A- at 2, B+ at 1, B- at 3 → A overlaps B.
+	if got := RelateEndpoints(0, 2, 1, 3); got != Overlaps {
+		t.Errorf("RelateEndpoints = %v, want overlaps", got)
+	}
+	// Shared positions mean coincident endpoints: A meets B.
+	if got := RelateEndpoints(0, 1, 1, 2); got != Meets {
+		t.Errorf("RelateEndpoints = %v, want meets", got)
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	good := map[string]Interval{
+		"A[1,5]":       {"A", 1, 5},
+		"T0.up[0,3]":   {"T0.up", 0, 3},
+		"A[-4,-1]":     {"A", -4, -1},
+		"A[ 1 , 5 ]":   {"A", 1, 5},
+		"sign.w2[3,3]": {"sign.w2", 3, 3},
+	}
+	for in, want := range good {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "A", "A[1]", "A[1,2", "[1,2]", "A[x,2]", "A[2,x]", "A[5,1]"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+// TestParseStringRoundTrip: Parse inverts String for random intervals.
+func TestParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 500; i++ {
+		iv := Interval{Symbol: "sym", Start: rng.Int63n(1000) - 500}
+		iv.End = iv.Start + rng.Int63n(100)
+		got, err := Parse(iv.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", iv.String(), err)
+		}
+		if got != iv {
+			t.Fatalf("round trip %v -> %v", iv, got)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpminer/internal/coincidence"
+	"tpminer/internal/interval"
+)
+
+// Coinc is a coincidence pattern: an ordered list of symbol sets. A
+// sequence supports the pattern when its coincidence sequence has a
+// (not necessarily contiguous) subsequence of segments whose alive sets
+// contain the pattern's sets element-wise. Elements are sorted and
+// duplicate-free.
+type Coinc struct {
+	Elements [][]string
+}
+
+// NewCoinc builds a coincidence pattern, canonicalizing (sorting,
+// deduplicating) each element. Input slices are copied.
+func NewCoinc(elements ...[]string) Coinc {
+	p := Coinc{Elements: make([][]string, len(elements))}
+	for i, el := range elements {
+		cp := make([]string, len(el))
+		copy(cp, el)
+		sort.Strings(cp)
+		cp = dedupStrings(cp)
+		p.Elements[i] = cp
+	}
+	return p
+}
+
+func dedupStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of elements.
+func (p Coinc) Len() int { return len(p.Elements) }
+
+// Size returns the total number of symbols across elements.
+func (p Coinc) Size() int {
+	n := 0
+	for _, el := range p.Elements {
+		n += len(el)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (p Coinc) Clone() Coinc {
+	out := Coinc{Elements: make([][]string, len(p.Elements))}
+	for i, el := range p.Elements {
+		cp := make([]string, len(el))
+		copy(cp, el)
+		out.Elements[i] = cp
+	}
+	return out
+}
+
+// String renders the pattern as "{A B} {C}".
+func (p Coinc) String() string {
+	parts := make([]string, len(p.Elements))
+	for i, el := range p.Elements {
+		parts[i] = "{" + strings.Join(el, " ") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Key returns a canonical map key.
+func (p Coinc) Key() string {
+	var b strings.Builder
+	for i, el := range p.Elements {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strings.Join(el, ","))
+	}
+	return b.String()
+}
+
+// Equal reports structural equality.
+func (p Coinc) Equal(q Coinc) bool {
+	if len(p.Elements) != len(q.Elements) {
+		return false
+	}
+	for i := range p.Elements {
+		if len(p.Elements[i]) != len(q.Elements[i]) {
+			return false
+		}
+		for j := range p.Elements[i] {
+			if p.Elements[i][j] != q.Elements[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness: at least one element, no
+// empty elements, each element sorted and duplicate-free.
+func (p Coinc) Validate() error {
+	if len(p.Elements) == 0 {
+		return fmt.Errorf("pattern: empty coincidence pattern")
+	}
+	for i, el := range p.Elements {
+		if len(el) == 0 {
+			return fmt.Errorf("pattern: coincidence element %d is empty", i)
+		}
+		for j := 1; j < len(el); j++ {
+			if el[j-1] >= el[j] {
+				return fmt.Errorf("pattern: coincidence element %d not sorted/deduped at %q", i, el[j])
+			}
+		}
+	}
+	return nil
+}
+
+// ParseCoinc inverts Coinc.String: "{A B} {C}".
+func ParseCoinc(s string) (Coinc, error) {
+	var elements [][]string
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] != '{' {
+			return Coinc{}, fmt.Errorf("pattern: expected '{' in %q", s)
+		}
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return Coinc{}, fmt.Errorf("pattern: unclosed '{' in %q", s)
+		}
+		el := strings.Fields(rest[1:close])
+		if len(el) == 0 {
+			return Coinc{}, fmt.Errorf("pattern: empty element in %q", s)
+		}
+		for _, sym := range el {
+			if strings.ContainsAny(sym, "{}") {
+				return Coinc{}, fmt.Errorf("pattern: symbol %q contains brace delimiters", sym)
+			}
+		}
+		sort.Strings(el)
+		elements = append(elements, dedupStrings(el))
+		rest = strings.TrimSpace(rest[close+1:])
+	}
+	p := Coinc{Elements: elements}
+	if err := p.Validate(); err != nil {
+		return Coinc{}, err
+	}
+	return p, nil
+}
+
+// ContainsCoinc reports whether the coincidence sequence contains the
+// pattern: a strictly increasing mapping of pattern elements to segments
+// with element ⊆ segment alive set. Greedy earliest matching is complete
+// for existence.
+func ContainsCoinc(cs []coincidence.Coincidence, p Coinc) bool {
+	if len(p.Elements) == 0 {
+		return false
+	}
+	i := 0
+	for _, el := range p.Elements {
+		for {
+			if i >= len(cs) {
+				return false
+			}
+			if containsAll(cs[i].Symbols, el) {
+				i++
+				break
+			}
+			i++
+		}
+	}
+	return true
+}
+
+// containsAll reports whether the sorted set `have` contains every symbol
+// of the sorted set `want`.
+func containsAll(have, want []string) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// TransformDatabase converts an interval database to coincidence
+// representation once, for repeated matching.
+func TransformDatabase(db *interval.Database) ([][]coincidence.Coincidence, error) {
+	out := make([][]coincidence.Coincidence, len(db.Sequences))
+	for i := range db.Sequences {
+		cs, err := coincidence.Transform(db.Sequences[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// SupportCoinc counts sequences (in coincidence representation)
+// containing p.
+func SupportCoinc(db [][]coincidence.Coincidence, p Coinc) int {
+	n := 0
+	for _, cs := range db {
+		if ContainsCoinc(cs, p) {
+			n++
+		}
+	}
+	return n
+}

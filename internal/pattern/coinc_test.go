@@ -1,0 +1,159 @@
+package pattern
+
+import (
+	"testing"
+
+	"tpminer/internal/coincidence"
+	"tpminer/internal/interval"
+)
+
+func mustCoinc(t *testing.T, s string) Coinc {
+	t.Helper()
+	p, err := ParseCoinc(s)
+	if err != nil {
+		t.Fatalf("ParseCoinc(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestCoincStringAndParse(t *testing.T) {
+	for _, s := range []string{
+		"{A}",
+		"{A B}",
+		"{A} {A B} {B}",
+		"{x.1 y.2}",
+	} {
+		p := mustCoinc(t, s)
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseCoincCanonicalizes(t *testing.T) {
+	p := mustCoinc(t, "{B A A}")
+	if got := p.String(); got != "{A B}" {
+		t.Errorf("canonicalization: %q", got)
+	}
+}
+
+func TestParseCoincErrors(t *testing.T) {
+	for _, s := range []string{"", "A", "{}", "{A", "A}", "{A} B"} {
+		if _, err := ParseCoinc(s); err == nil {
+			t.Errorf("ParseCoinc(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestCoincSizesAndEqual(t *testing.T) {
+	p := mustCoinc(t, "{A B} {C}")
+	if p.Len() != 2 || p.Size() != 3 {
+		t.Errorf("Len=%d Size=%d", p.Len(), p.Size())
+	}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	q.Elements[0][0] = "Z"
+	if p.Equal(q) || p.Elements[0][0] != "A" {
+		t.Error("Clone shares storage or Equal broken")
+	}
+	if p.Equal(mustCoinc(t, "{A B}")) {
+		t.Error("Equal ignores length")
+	}
+	if p.Key() == mustCoinc(t, "{A} {B C}").Key() {
+		t.Error("Key collision")
+	}
+}
+
+func TestCoincValidate(t *testing.T) {
+	if err := mustCoinc(t, "{A B} {A}").Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := Coinc{Elements: [][]string{{"B", "A"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted unsorted element")
+	}
+	dup := Coinc{Elements: [][]string{{"A", "A"}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("accepted duplicate symbol")
+	}
+	empty := Coinc{}
+	if err := empty.Validate(); err == nil {
+		t.Error("accepted empty pattern")
+	}
+}
+
+func coincSeq(t *testing.T, ivs ...interval.Interval) []coincidence.Coincidence {
+	t.Helper()
+	cs, err := coincidence.Transform(interval.Sequence{Intervals: ivs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestContainsCoinc(t *testing.T) {
+	// A[0,10] overlaps B[5,15]; C[20,25] after → {A} {A B} {B} {C}.
+	cs := coincSeq(t,
+		interval.Interval{Symbol: "A", Start: 0, End: 10},
+		interval.Interval{Symbol: "B", Start: 5, End: 15},
+		interval.Interval{Symbol: "C", Start: 20, End: 25},
+	)
+	for _, s := range []string{
+		"{A}", "{A B}", "{A} {B}", "{A} {A B} {B} {C}", "{B} {C}", "{A B} {C}",
+	} {
+		if !ContainsCoinc(cs, mustCoinc(t, s)) {
+			t.Errorf("ContainsCoinc(%q) = false", s)
+		}
+	}
+	for _, s := range []string{
+		"{A C}", "{C} {A}", "{B} {A B}", "{D}", "{A B C}",
+	} {
+		if ContainsCoinc(cs, mustCoinc(t, s)) {
+			t.Errorf("ContainsCoinc(%q) = true", s)
+		}
+	}
+	if ContainsCoinc(cs, Coinc{}) {
+		t.Error("empty pattern contained")
+	}
+}
+
+func TestContainsCoincRepeatedElement(t *testing.T) {
+	// {A} occurs twice, separated by {A B}: pattern "{A} {A}" needs two
+	// distinct segments.
+	cs := coincSeq(t,
+		interval.Interval{Symbol: "A", Start: 0, End: 20},
+		interval.Interval{Symbol: "B", Start: 5, End: 10},
+	)
+	if !ContainsCoinc(cs, mustCoinc(t, "{A} {A}")) {
+		t.Error("{A} {A} should match {A} {A B} {A}")
+	}
+	if !ContainsCoinc(cs, mustCoinc(t, "{A} {A} {A}")) {
+		t.Error("{A} {A} {A} should match (subset matching)")
+	}
+	if ContainsCoinc(cs, mustCoinc(t, "{B} {B}")) {
+		t.Error("{B} {B} should not match a single B segment")
+	}
+}
+
+func TestSupportCoinc(t *testing.T) {
+	db := interval.NewDatabase(
+		[]interval.Interval{{Symbol: "A", Start: 0, End: 10}, {Symbol: "B", Start: 5, End: 15}},
+		[]interval.Interval{{Symbol: "A", Start: 0, End: 10}},
+		[]interval.Interval{{Symbol: "B", Start: 0, End: 10}, {Symbol: "A", Start: 5, End: 15}},
+	)
+	enc, err := TransformDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SupportCoinc(enc, mustCoinc(t, "{A}")); got != 3 {
+		t.Errorf("support({A}) = %d", got)
+	}
+	if got := SupportCoinc(enc, mustCoinc(t, "{A B}")); got != 2 {
+		t.Errorf("support({A B}) = %d", got)
+	}
+	if got := SupportCoinc(enc, mustCoinc(t, "{A} {B}")); got != 1 {
+		t.Errorf("support({A} {B}) = %d", got)
+	}
+}

@@ -1,0 +1,77 @@
+package pattern
+
+import (
+	"testing"
+)
+
+// FuzzParseTemporal checks that the temporal-pattern parser never
+// panics, and that anything it accepts is valid and round-trips through
+// String.
+func FuzzParseTemporal(f *testing.F) {
+	for _, seed := range []string{
+		"A+ A-",
+		"A+ (A- B+) B-",
+		"(A+ B+) (A- B-)",
+		"A.2+ A.2-",
+		"A+ (A- B+",
+		"A-",
+		"",
+		"x y z",
+		"(((",
+		"sign.w3+ face.wh+ sign.w3- face.wh-",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseTemporal(s)
+		if err != nil {
+			return
+		}
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("accepted %q but Validate fails: %v", s, vErr)
+		}
+		back, err := ParseTemporal(p.String())
+		if err != nil {
+			t.Fatalf("accepted %q but %q does not re-parse: %v", s, p.String(), err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip %q -> %q -> %q changed the pattern", s, p.String(), back.String())
+		}
+		// Normalization must stay valid and idempotent.
+		n := p.Normalize()
+		if vErr := n.Validate(); vErr != nil {
+			t.Fatalf("normalized %q invalid: %v", s, vErr)
+		}
+		if !n.Normalize().Equal(n) {
+			t.Fatalf("normalization of %q not idempotent", s)
+		}
+	})
+}
+
+// FuzzParseCoinc does the same for coincidence patterns.
+func FuzzParseCoinc(f *testing.F) {
+	for _, seed := range []string{
+		"{A}",
+		"{A B} {C}",
+		"{A",
+		"}",
+		"",
+		"{} {A}",
+		"{A A A}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseCoinc(s)
+		if err != nil {
+			return
+		}
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("accepted %q but Validate fails: %v", s, vErr)
+		}
+		back, err := ParseCoinc(p.String())
+		if err != nil || !back.Equal(p) {
+			t.Fatalf("round trip %q -> %q broken: %v", s, p.String(), err)
+		}
+	})
+}

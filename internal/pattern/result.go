@@ -1,0 +1,100 @@
+package pattern
+
+import "sort"
+
+// TemporalResult pairs a temporal pattern with its support count.
+type TemporalResult struct {
+	Pattern Temporal
+	Support int
+}
+
+// CoincResult pairs a coincidence pattern with its support count.
+type CoincResult struct {
+	Pattern Coinc
+	Support int
+}
+
+// SortTemporalResults orders results deterministically: descending
+// support, then ascending size, then lexicographic key. All miners sort
+// their output this way so result sets compare element-wise.
+func SortTemporalResults(rs []TemporalResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Support != rs[j].Support {
+			return rs[i].Support > rs[j].Support
+		}
+		si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
+		if si != sj {
+			return si < sj
+		}
+		return rs[i].Pattern.Key() < rs[j].Pattern.Key()
+	})
+}
+
+// SortCoincResults is the coincidence analogue of SortTemporalResults.
+func SortCoincResults(rs []CoincResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Support != rs[j].Support {
+			return rs[i].Support > rs[j].Support
+		}
+		si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
+		if si != sj {
+			return si < sj
+		}
+		return rs[i].Pattern.Key() < rs[j].Pattern.Key()
+	})
+}
+
+// NormalizeTemporalResults canonicalizes every pattern (dropping
+// occurrence labels, see Temporal.Normalize) and merges duplicates,
+// keeping the maximum support. The result is sorted.
+func NormalizeTemporalResults(rs []TemporalResult) []TemporalResult {
+	best := make(map[string]TemporalResult, len(rs))
+	for _, r := range rs {
+		n := r.Pattern.Normalize()
+		k := n.Key()
+		if prev, ok := best[k]; !ok || r.Support > prev.Support {
+			best[k] = TemporalResult{Pattern: n, Support: r.Support}
+		}
+	}
+	out := make([]TemporalResult, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	SortTemporalResults(out)
+	return out
+}
+
+// TemporalResultsEqual reports whether two sorted result sets are
+// identical (same patterns with same supports, order-insensitively).
+func TemporalResultsEqual(a, b []TemporalResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[string]int, len(a))
+	for _, r := range a {
+		am[r.Pattern.Key()] = r.Support
+	}
+	for _, r := range b {
+		if sup, ok := am[r.Pattern.Key()]; !ok || sup != r.Support {
+			return false
+		}
+	}
+	return true
+}
+
+// CoincResultsEqual is the coincidence analogue of TemporalResultsEqual.
+func CoincResultsEqual(a, b []CoincResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[string]int, len(a))
+	for _, r := range a {
+		am[r.Pattern.Key()] = r.Support
+	}
+	for _, r := range b {
+		if sup, ok := am[r.Pattern.Key()]; !ok || sup != r.Support {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+// Package pattern defines the two pattern types discovered by P-TPMiner —
+// temporal patterns over the endpoint representation and coincidence
+// patterns over the coincidence representation — together with their
+// validity rules, canonical normalization, containment semantics, and
+// rendering (including recovery of pairwise Allen relations from a
+// temporal pattern).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+)
+
+// Temporal is an interval-based sequential pattern in endpoint
+// representation: an ordered list of elements, each a set of endpoints
+// that co-occur at one time point. A *complete* temporal pattern pairs
+// every start with a later (or co-occurring) finish and vice versa; only
+// complete patterns describe a realizable arrangement of intervals and
+// only those are reported by the miners. Prefixes grown during mining may
+// be incomplete.
+//
+// Elements hold endpoints in canonical order (endpoint.Endpoint.Less).
+type Temporal struct {
+	Elements [][]endpoint.Endpoint
+}
+
+// NewTemporal builds a pattern from elements, canonicalizing the order of
+// endpoints inside each element. The input slices are copied.
+func NewTemporal(elements ...[]endpoint.Endpoint) Temporal {
+	p := Temporal{Elements: make([][]endpoint.Endpoint, len(elements))}
+	for i, el := range elements {
+		cp := make([]endpoint.Endpoint, len(el))
+		copy(cp, el)
+		sort.Slice(cp, func(a, b int) bool { return cp[a].Less(cp[b]) })
+		p.Elements[i] = cp
+	}
+	return p
+}
+
+// Len returns the number of elements (time points) in the pattern.
+func (p Temporal) Len() int { return len(p.Elements) }
+
+// Size returns the total number of endpoints.
+func (p Temporal) Size() int {
+	n := 0
+	for _, el := range p.Elements {
+		n += len(el)
+	}
+	return n
+}
+
+// NumIntervals returns the number of interval instances the pattern
+// mentions (distinct symbol/occurrence pairs).
+func (p Temporal) NumIntervals() int {
+	seen := make(map[instKey]struct{})
+	for _, el := range p.Elements {
+		for _, e := range el {
+			seen[instKey{e.Symbol, e.Occ}] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+type instKey struct {
+	sym string
+	occ int
+}
+
+// Clone returns a deep copy.
+func (p Temporal) Clone() Temporal {
+	out := Temporal{Elements: make([][]endpoint.Endpoint, len(p.Elements))}
+	for i, el := range p.Elements {
+		cp := make([]endpoint.Endpoint, len(el))
+		copy(cp, el)
+		out.Elements[i] = cp
+	}
+	return out
+}
+
+// String renders the pattern as "A+ (A- B+) B-": single-endpoint elements
+// bare, multi-endpoint elements parenthesized.
+func (p Temporal) String() string {
+	parts := make([]string, len(p.Elements))
+	for i, el := range p.Elements {
+		parts[i] = endpoint.Slice{Points: el}.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Key returns a canonical string key usable for dedup maps. Unlike
+// String it is unambiguous for any symbols (elements are delimited).
+func (p Temporal) Key() string {
+	var b strings.Builder
+	for i, el := range p.Elements {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, e := range el {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.Symbol)
+			b.WriteByte('.')
+			fmt.Fprintf(&b, "%d", e.Occ)
+			b.WriteString(e.Kind.String())
+		}
+	}
+	return b.String()
+}
+
+// Equal reports structural equality.
+func (p Temporal) Equal(q Temporal) bool {
+	if len(p.Elements) != len(q.Elements) {
+		return false
+	}
+	for i := range p.Elements {
+		if len(p.Elements[i]) != len(q.Elements[i]) {
+			return false
+		}
+		for j := range p.Elements[i] {
+			if p.Elements[i][j] != q.Elements[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness: no empty elements, endpoints
+// canonically ordered and duplicate-free, every finish preceded by (or
+// co-occurring with, in an earlier position of the same element per
+// canonical order) its matching start, and no start opened twice.
+// Whether every start is also finished is reported separately by
+// Complete; prefixes grown during mining are valid but incomplete.
+func (p Temporal) Validate() error {
+	if len(p.Elements) == 0 {
+		return fmt.Errorf("pattern: empty temporal pattern")
+	}
+	seen := make(map[endpoint.Endpoint]struct{})
+	open := make(map[instKey]struct{})
+	for i, el := range p.Elements {
+		if len(el) == 0 {
+			return fmt.Errorf("pattern: element %d is empty", i)
+		}
+		for j, e := range el {
+			if j > 0 && !el[j-1].Less(e) {
+				return fmt.Errorf("pattern: element %d not in canonical order at %s", i, e)
+			}
+			if _, dup := seen[e]; dup {
+				return fmt.Errorf("pattern: duplicate endpoint %s", e)
+			}
+			seen[e] = struct{}{}
+			if e.Occ < 1 {
+				return fmt.Errorf("pattern: endpoint %s has occurrence < 1", e)
+			}
+			k := instKey{e.Symbol, e.Occ}
+			switch e.Kind {
+			case endpoint.Start:
+				open[k] = struct{}{}
+			case endpoint.Finish:
+				if _, ok := open[k]; !ok {
+					return fmt.Errorf("pattern: finish %s before its start", e)
+				}
+				delete(open, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Complete reports whether every started interval is finished, i.e. the
+// pattern describes a realizable interval arrangement. Only complete
+// patterns are emitted by the miners.
+func (p Temporal) Complete() bool {
+	open := make(map[instKey]struct{})
+	for _, el := range p.Elements {
+		for _, e := range el {
+			k := instKey{e.Symbol, e.Occ}
+			if e.Kind == endpoint.Start {
+				open[k] = struct{}{}
+			} else {
+				if _, ok := open[k]; !ok {
+					return false
+				}
+				delete(open, k)
+			}
+		}
+	}
+	return len(open) == 0
+}
+
+// Normalize returns the canonical form of the pattern: occurrence indices
+// of each symbol are renumbered 1, 2, ... in order of first appearance of
+// their start endpoints. Two patterns that differ only in which concrete
+// occurrences they name normalize to the same pattern.
+func (p Temporal) Normalize() Temporal {
+	next := make(map[string]int)
+	remap := make(map[instKey]int)
+	for _, el := range p.Elements {
+		for _, e := range el {
+			k := instKey{e.Symbol, e.Occ}
+			if _, ok := remap[k]; !ok {
+				next[e.Symbol]++
+				remap[k] = next[e.Symbol]
+			}
+		}
+	}
+	out := Temporal{Elements: make([][]endpoint.Endpoint, len(p.Elements))}
+	for i, el := range p.Elements {
+		cp := make([]endpoint.Endpoint, len(el))
+		for j, e := range el {
+			cp[j] = endpoint.Endpoint{Symbol: e.Symbol, Occ: remap[instKey{e.Symbol, e.Occ}], Kind: e.Kind}
+		}
+		sort.Slice(cp, func(a, b int) bool { return cp[a].Less(cp[b]) })
+		out.Elements[i] = cp
+	}
+	return out
+}
+
+// ParseTemporal inverts Temporal.String: "A+ (A- B+) B-".
+func ParseTemporal(s string) (Temporal, error) {
+	var elements [][]endpoint.Endpoint
+	fields := strings.Fields(s)
+	i := 0
+	for i < len(fields) {
+		f := fields[i]
+		if strings.HasPrefix(f, "(") {
+			// Collect tokens until the closing paren.
+			var group []string
+			f = strings.TrimPrefix(f, "(")
+			closed := false
+			for {
+				if strings.HasSuffix(f, ")") {
+					group = append(group, strings.TrimSuffix(f, ")"))
+					closed = true
+					break
+				}
+				if f != "" {
+					group = append(group, f)
+				}
+				i++
+				if i >= len(fields) {
+					break
+				}
+				f = fields[i]
+			}
+			if !closed {
+				return Temporal{}, fmt.Errorf("pattern: unclosed '(' in %q", s)
+			}
+			el := make([]endpoint.Endpoint, 0, len(group))
+			for _, g := range group {
+				e, err := endpoint.Parse(g)
+				if err != nil {
+					return Temporal{}, err
+				}
+				el = append(el, e)
+			}
+			sort.Slice(el, func(a, b int) bool { return el[a].Less(el[b]) })
+			elements = append(elements, el)
+		} else {
+			e, err := endpoint.Parse(f)
+			if err != nil {
+				return Temporal{}, err
+			}
+			elements = append(elements, []endpoint.Endpoint{e})
+		}
+		i++
+	}
+	p := Temporal{Elements: elements}
+	if err := p.Validate(); err != nil {
+		return Temporal{}, err
+	}
+	return p, nil
+}
+
+// RelationSummary recovers the pairwise Allen relations among the
+// intervals of a complete temporal pattern and renders them as
+// "A overlaps B; A before C". Interval instances are named by symbol,
+// with ".k" occurrence suffixes for repeated symbols.
+func (p Temporal) RelationSummary() string {
+	type inst struct {
+		name       string
+		start, end int
+	}
+	pos := make(map[instKey]*inst)
+	var order []*inst
+	for i, el := range p.Elements {
+		for _, e := range el {
+			k := instKey{e.Symbol, e.Occ}
+			in, ok := pos[k]
+			if !ok {
+				name := e.Symbol
+				if e.Occ > 1 {
+					name = fmt.Sprintf("%s.%d", e.Symbol, e.Occ)
+				}
+				in = &inst{name: name, start: -1, end: -1}
+				pos[k] = in
+				order = append(order, in)
+			}
+			if e.Kind == endpoint.Start {
+				in.start = i
+			} else {
+				in.end = i
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].name < order[j].name })
+	var parts []string
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			a, b := order[i], order[j]
+			if a.start < 0 || a.end < 0 || b.start < 0 || b.end < 0 {
+				continue // incomplete pattern: skip unpaired instances
+			}
+			rel := interval.RelateEndpoints(a.start, a.end, b.start, b.end)
+			parts = append(parts, fmt.Sprintf("%s %s %s", a.name, rel, b.name))
+		}
+	}
+	if len(parts) == 0 && len(order) == 1 && order[0].start >= 0 && order[0].end >= 0 {
+		return order[0].name
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,189 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"tpminer/internal/endpoint"
+)
+
+func ep(s string) endpoint.Endpoint {
+	e, err := endpoint.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func mustTemporal(t *testing.T, s string) Temporal {
+	t.Helper()
+	p, err := ParseTemporal(s)
+	if err != nil {
+		t.Fatalf("ParseTemporal(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestTemporalStringAndParse(t *testing.T) {
+	cases := []string{
+		"A+ A-",
+		"A+ (A- B+) B-",
+		"(A+ B+) (A- B-)",
+		"A+ B+ B- A-",
+		"A+ A- A.2+ A.2-",
+		"(A+ A-)",
+	}
+	for _, s := range cases {
+		p := mustTemporal(t, s)
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseTemporalErrors(t *testing.T) {
+	for _, s := range []string{
+		"",            // empty
+		"A-",          // finish before start
+		"A+ (A- B+",   // unclosed paren
+		"A+ A+ A-",    // duplicate endpoint
+		"A+ A- B-",    // unmatched finish
+		"A+ xyz A-",   // bad token
+		"B- A+ A- B+", // finish before start
+	} {
+		if _, err := ParseTemporal(s); err == nil {
+			t.Errorf("ParseTemporal(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestTemporalSizes(t *testing.T) {
+	p := mustTemporal(t, "A+ (A- B+) B-")
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if p.Size() != 4 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if p.NumIntervals() != 2 {
+		t.Errorf("NumIntervals = %d", p.NumIntervals())
+	}
+}
+
+func TestValidateAndComplete(t *testing.T) {
+	complete := mustTemporal(t, "A+ (A- B+) B-")
+	if err := complete.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !complete.Complete() {
+		t.Error("Complete = false for complete pattern")
+	}
+
+	// An open prefix is valid but incomplete.
+	prefix := NewTemporal([]endpoint.Endpoint{ep("A+")})
+	if err := prefix.Validate(); err != nil {
+		t.Errorf("prefix Validate: %v", err)
+	}
+	if prefix.Complete() {
+		t.Error("Complete = true for open prefix")
+	}
+
+	// Structurally broken patterns.
+	bad := Temporal{Elements: [][]endpoint.Endpoint{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted empty element")
+	}
+	badOcc := Temporal{Elements: [][]endpoint.Endpoint{{{Symbol: "A", Occ: 0, Kind: endpoint.Start}}}}
+	if err := badOcc.Validate(); err == nil {
+		t.Error("Validate accepted occurrence 0")
+	}
+	unsorted := Temporal{Elements: [][]endpoint.Endpoint{{ep("B+"), ep("A+")}}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("Validate accepted unsorted element")
+	}
+}
+
+func TestNewTemporalSortsElements(t *testing.T) {
+	p := NewTemporal([]endpoint.Endpoint{ep("B+"), ep("A+")})
+	if p.Elements[0][0] != ep("A+") || p.Elements[0][1] != ep("B+") {
+		t.Errorf("NewTemporal did not canonicalize: %v", p)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Occurrence labels renumber densely in first-appearance order.
+	p := mustTemporal(t, "A.3+ A.3- A.7+ A.7-")
+	n := p.Normalize()
+	if got := n.String(); got != "A+ A- A.2+ A.2-" {
+		t.Errorf("Normalize = %q", got)
+	}
+	// Idempotent.
+	if !n.Normalize().Equal(n) {
+		t.Error("Normalize not idempotent")
+	}
+	// Mixed symbols.
+	// Elements re-sort canonically after renumbering: A+ < B- in-element.
+	q := mustTemporal(t, "B.2+ (B.2- A.5+) A.5-")
+	if got := q.Normalize().String(); got != "B+ (A+ B-) A-" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestKeyDisambiguates(t *testing.T) {
+	a := mustTemporal(t, "A+ A- B+ B-")
+	b := mustTemporal(t, "A+ (A- B+) B-")
+	c := mustTemporal(t, "(A+ B+) A- B-")
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true}
+	if len(keys) != 3 {
+		t.Errorf("keys collide: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	p := mustTemporal(t, "A+ (A- B+) B-")
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	q.Elements[1][0] = ep("C+")
+	if p.Equal(q) {
+		t.Error("Equal ignores element change")
+	}
+	if p.Elements[1][0] != ep("A-") {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRelationSummary(t *testing.T) {
+	cases := map[string]string{
+		"A+ A- B+ B-":       "A before B",
+		"A+ (A- B+) B-":     "A meets B",
+		"A+ B+ A- B-":       "A overlaps B",
+		"(A+ B+) A- B-":     "A starts B",
+		"B+ A+ A- B-":       "A during B",
+		"B+ A+ (A- B-)":     "A finishes B",
+		"(A+ B+) (A- B-)":   "A equals B",
+		"A+ A- A.2+ A.2-":   "A before A.2",
+		"A+ A-":             "A",
+		"A+ B+ B- A- C+ C-": "A contains B; A before C; B before C",
+	}
+	for in, want := range cases {
+		p := mustTemporal(t, in)
+		if got := p.RelationSummary(); got != want {
+			t.Errorf("RelationSummary(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRelationSummaryEveryPairCovered(t *testing.T) {
+	p := mustTemporal(t, "A+ B+ C+ A- B- C-")
+	got := p.RelationSummary()
+	for _, pair := range []string{"A", "B", "C"} {
+		if !strings.Contains(got, pair) {
+			t.Errorf("RelationSummary %q misses %s", got, pair)
+		}
+	}
+	if strings.Count(got, ";") != 2 {
+		t.Errorf("RelationSummary %q should have 3 clauses", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package render draws interval sequences and temporal patterns as
+// ASCII timelines for terminals and logs. Visual inspection is how
+// interval arrangements are actually debugged — "B+ (A- C+)" takes a
+// moment to read; a timeline does not:
+//
+//	A      ▐██████▌
+//	B          ▐████████▌
+//	C                  ▐███▌
+//	       0         10        20
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// Options controls timeline rendering. The zero value renders with
+// sensible defaults.
+type Options struct {
+	// Width is the number of columns for the time axis (default 60).
+	Width int
+	// ASCII forces pure-ASCII bars ("[====]") instead of block glyphs.
+	ASCII bool
+	// HideAxis suppresses the bottom tick line.
+	HideAxis bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Width < 10 {
+		o.Width = 10
+	}
+	return o
+}
+
+// Sequence renders an interval sequence as one labelled row per
+// interval, ordered canonically, over a shared time axis.
+func Sequence(seq interval.Sequence, opt Options) string {
+	opt = opt.withDefaults()
+	s := seq.Clone()
+	s.Normalize()
+	lo, hi, ok := s.Span()
+	if !ok {
+		return "(empty sequence)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	labelW := 0
+	for _, iv := range s.Intervals {
+		if len(iv.Symbol) > labelW {
+			labelW = len(iv.Symbol)
+		}
+	}
+
+	var b strings.Builder
+	for _, iv := range s.Intervals {
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, iv.Symbol, bar(iv.Start, iv.End, lo, hi, opt))
+	}
+	if !opt.HideAxis {
+		b.WriteString(strings.Repeat(" ", labelW+1))
+		b.WriteString(axis(lo, hi, opt.Width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pattern renders a complete temporal pattern as a timeline over its
+// element positions (element index serves as abstract time), one row
+// per interval instance. Incomplete instances render as a lone start
+// marker.
+func Pattern(p pattern.Temporal, opt Options) string {
+	opt = opt.withDefaults()
+	type inst struct {
+		name       string
+		start, end int
+	}
+	byKey := make(map[string]*inst)
+	var order []*inst
+	for i, el := range p.Elements {
+		for _, e := range el {
+			name := e.Symbol
+			if e.Occ > 1 {
+				name = fmt.Sprintf("%s.%d", e.Symbol, e.Occ)
+			}
+			in, ok := byKey[name]
+			if !ok {
+				in = &inst{name: name, start: -1, end: -1}
+				byKey[name] = in
+				order = append(order, in)
+			}
+			if e.Kind == endpoint.Start {
+				in.start = i
+			} else {
+				in.end = i
+			}
+		}
+	}
+	if len(order) == 0 {
+		return "(empty pattern)\n"
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		si, sj := order[i].start, order[j].start
+		if si != sj {
+			return si < sj
+		}
+		return order[i].name < order[j].name
+	})
+
+	labelW := 0
+	for _, in := range order {
+		if len(in.name) > labelW {
+			labelW = len(in.name)
+		}
+	}
+	hi := int64(p.Len()) // element positions 0..Len()-1, pad by one
+	var b strings.Builder
+	for _, in := range order {
+		if in.start < 0 || in.end < 0 {
+			at := in.start
+			if at < 0 {
+				at = in.end
+			}
+			fmt.Fprintf(&b, "%-*s %s\n", labelW, in.name,
+				point(int64(at), 0, hi, opt))
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, in.name,
+			bar(int64(in.start), int64(in.end), 0, hi, opt))
+	}
+	return b.String()
+}
+
+// bar draws one interval as a horizontal bar scaled into [lo, hi].
+func bar(start, end, lo, hi interval.Time, opt Options) string {
+	cells := make([]rune, opt.Width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	a := scale(start, lo, hi, opt.Width)
+	z := scale(end, lo, hi, opt.Width)
+	if z >= opt.Width {
+		z = opt.Width - 1
+	}
+	open, fill, close := '▐', '█', '▌'
+	if opt.ASCII {
+		open, fill, close = '[', '=', ']'
+	}
+	if a == z {
+		cells[a] = close // point event: single marker
+		if opt.ASCII {
+			cells[a] = '|'
+		}
+		return string(cells)
+	}
+	cells[a] = open
+	for i := a + 1; i < z; i++ {
+		cells[i] = fill
+	}
+	cells[z] = close
+	return string(cells)
+}
+
+// point draws a single marker at a position (used for unpaired
+// endpoints of incomplete patterns).
+func point(at, lo, hi interval.Time, opt Options) string {
+	cells := make([]rune, opt.Width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	mark := '▌'
+	if opt.ASCII {
+		mark = '|'
+	}
+	p := scale(at, lo, hi, opt.Width)
+	if p >= opt.Width {
+		p = opt.Width - 1
+	}
+	cells[p] = mark
+	return string(cells)
+}
+
+// scale maps time t in [lo, hi] to a column in [0, width-1].
+func scale(t, lo, hi interval.Time, width int) int {
+	if hi <= lo {
+		return 0
+	}
+	c := int(int64(width-1) * (t - lo) / (hi - lo))
+	if c < 0 {
+		c = 0
+	}
+	if c >= width {
+		c = width - 1
+	}
+	return c
+}
+
+// axis renders a tick line with the range endpoints and midpoint.
+func axis(lo, hi interval.Time, width int) string {
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	place := func(t interval.Time) {
+		s := fmt.Sprintf("%d", t)
+		at := scale(t, lo, hi, width)
+		if at+len(s) > width {
+			at = width - len(s)
+		}
+		if at < 0 {
+			at = 0
+		}
+		copy(cells[at:], s)
+	}
+	place(lo)
+	place(lo + (hi-lo)/2)
+	place(hi)
+	return string(cells)
+}

@@ -1,0 +1,108 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+func TestSequenceRendering(t *testing.T) {
+	seq := interval.Sequence{ID: "x", Intervals: []interval.Interval{
+		{Symbol: "A", Start: 0, End: 10},
+		{Symbol: "BB", Start: 5, End: 15},
+	}}
+	out := Sequence(seq, Options{Width: 20, ASCII: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two rows + axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.HasPrefix(lines[1], "BB") {
+		t.Errorf("labels wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "[") || !strings.Contains(lines[0], "]") {
+		t.Errorf("no bar in row:\n%s", out)
+	}
+	// A starts at column 0 of the plot area; B starts later.
+	aCol := strings.IndexByte(lines[0], '[')
+	bCol := strings.IndexByte(lines[1], '[')
+	if aCol >= bCol {
+		t.Errorf("bar positions not ordered: A at %d, B at %d\n%s", aCol, bCol, out)
+	}
+	// Axis shows the range endpoints.
+	if !strings.Contains(lines[2], "0") || !strings.Contains(lines[2], "15") {
+		t.Errorf("axis labels missing: %q", lines[2])
+	}
+}
+
+func TestSequenceEdgeCases(t *testing.T) {
+	if got := Sequence(interval.Sequence{}, Options{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty sequence: %q", got)
+	}
+	// Point-only sequence must not divide by zero.
+	seq := interval.Sequence{Intervals: []interval.Interval{{Symbol: "P", Start: 3, End: 3}}}
+	out := Sequence(seq, Options{Width: 20, ASCII: true})
+	if !strings.Contains(out, "|") {
+		t.Errorf("point marker missing:\n%s", out)
+	}
+	// HideAxis drops the tick line.
+	out = Sequence(seq, Options{Width: 20, ASCII: true, HideAxis: true})
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("axis not hidden:\n%q", out)
+	}
+}
+
+func TestPatternRendering(t *testing.T) {
+	p, err := pattern.ParseTemporal("A+ B+ A- B-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Pattern(p, Options{Width: 24, ASCII: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Overlap: A's bar starts before B's and ends before B's.
+	aOpen := strings.IndexByte(lines[0], '[')
+	aClose := strings.IndexByte(lines[0], ']')
+	bOpen := strings.IndexByte(lines[1], '[')
+	bClose := strings.IndexByte(lines[1], ']')
+	if !(aOpen < bOpen && bOpen < aClose && aClose < bClose) {
+		t.Errorf("overlap shape wrong (a:[%d,%d] b:[%d,%d]):\n%s", aOpen, aClose, bOpen, bClose, out)
+	}
+}
+
+func TestPatternOccurrenceLabels(t *testing.T) {
+	p, err := pattern.ParseTemporal("A+ A- A.2+ A.2-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Pattern(p, Options{Width: 24, ASCII: true})
+	if !strings.Contains(out, "A.2") {
+		t.Errorf("occurrence label missing:\n%s", out)
+	}
+}
+
+func TestPatternIncomplete(t *testing.T) {
+	// An open prefix renders the unpaired start as a point marker.
+	p := pattern.NewTemporal(
+		[]endpoint.Endpoint{{Symbol: "A", Occ: 1, Kind: endpoint.Start}},
+	)
+	out := Pattern(p, Options{Width: 16, ASCII: true})
+	if !strings.Contains(out, "|") {
+		t.Errorf("unpaired start not marked:\n%s", out)
+	}
+	if got := Pattern(pattern.Temporal{}, Options{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty pattern: %q", got)
+	}
+}
+
+func TestUnicodeDefault(t *testing.T) {
+	seq := interval.Sequence{Intervals: []interval.Interval{{Symbol: "A", Start: 0, End: 9}}}
+	out := Sequence(seq, Options{Width: 20})
+	if !strings.ContainsRune(out, '█') {
+		t.Errorf("unicode bars expected by default:\n%s", out)
+	}
+}

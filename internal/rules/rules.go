@@ -1,0 +1,227 @@
+// Package rules derives temporal association rules from mined temporal
+// patterns and scores their interestingness — the post-analysis step a
+// practitioner runs after mining (an extension beyond the two-page
+// paper; see DESIGN.md).
+//
+// A rule P ⇒ Q reads: "sequences containing the arrangement P tend to
+// contain the full arrangement Q", where P is the sub-arrangement of Q
+// induced by a proper, non-empty subset of Q's interval instances.
+// Scores:
+//
+//	support    = sup(Q)                    (sequences with the full arrangement)
+//	confidence = sup(Q) / sup(P)
+//	lift       = conf / (sup(R) / N)       (R = the complementary
+//	             sub-arrangement; lift > 1 means P makes the rest of the
+//	             arrangement more likely than its base rate)
+//
+// Supports of sub-arrangements are taken from the mined result set when
+// present and recounted against the database otherwise, so rules are
+// exact regardless of the mining threshold.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// Rule is one derived temporal association rule.
+type Rule struct {
+	// Antecedent is the observed sub-arrangement P.
+	Antecedent pattern.Temporal
+	// Consequent is the complementary sub-arrangement R (what the rule
+	// adds on top of P).
+	Consequent pattern.Temporal
+	// Full is the complete arrangement Q the rule predicts.
+	Full pattern.Temporal
+	// Support is sup(Q) in sequences.
+	Support int
+	// Confidence is sup(Q)/sup(P) in [0, 1].
+	Confidence float64
+	// Lift is confidence / (sup(R)/N); > 1 indicates positive
+	// association between P and R beyond chance.
+	Lift float64
+}
+
+// String renders the rule as "P ⇒ Q  (conf 0.83, lift 2.1, sup 42)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s  (conf %.2f, lift %.2f, sup %d)",
+		r.Antecedent, r.Full, r.Confidence, r.Lift, r.Support)
+}
+
+// Options filters the derived rules.
+type Options struct {
+	// MinConfidence drops rules below this confidence (default 0).
+	MinConfidence float64
+	// MinLift drops rules below this lift (default 0, i.e. keep all).
+	MinLift float64
+	// MaxInstances skips full patterns with more interval instances
+	// (subset enumeration is exponential in instances; default 4).
+	MaxInstances int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInstances == 0 {
+		o.MaxInstances = 4
+	}
+	return o
+}
+
+// Derive produces the rules of every mined multi-interval pattern.
+// Results should come from mining db (their supports are trusted);
+// sub-arrangement supports missing from rs are recounted against db.
+func Derive(rs []pattern.TemporalResult, db *interval.Database, opt Options) ([]Rule, error) {
+	opt = opt.withDefaults()
+	if opt.MinConfidence < 0 || opt.MinConfidence > 1 {
+		return nil, fmt.Errorf("rules: MinConfidence %v outside [0,1]", opt.MinConfidence)
+	}
+	if opt.MinLift < 0 {
+		return nil, fmt.Errorf("rules: negative MinLift %v", opt.MinLift)
+	}
+	if db.Len() == 0 {
+		return nil, nil
+	}
+	if err := db.Valid(); err != nil {
+		return nil, err
+	}
+	n := db.Len()
+
+	// Known supports by normalized key. Sub-arrangements absent from
+	// the result set are recounted under any-binding semantics, which
+	// upper-bounds the aligned support — confidences are therefore
+	// conservative (never overstated).
+	known := make(map[string]int, len(rs))
+	for _, r := range rs {
+		known[r.Pattern.Normalize().Key()] = r.Support
+	}
+	supportOf := func(p pattern.Temporal) int {
+		if s, ok := known[p.Normalize().Key()]; ok {
+			return s
+		}
+		s := pattern.SupportAny(db, p)
+		known[p.Normalize().Key()] = s
+		return s
+	}
+
+	var out []Rule
+	for _, r := range rs {
+		insts := instancesOf(r.Pattern)
+		k := len(insts)
+		if k < 2 || k > opt.MaxInstances {
+			continue
+		}
+		full := r.Pattern
+		// Every proper, non-empty instance subset forms an antecedent.
+		for mask := 1; mask < (1<<k)-1; mask++ {
+			var subset, rest []instKey
+			for b := 0; b < k; b++ {
+				if mask&(1<<b) != 0 {
+					subset = append(subset, insts[b])
+				} else {
+					rest = append(rest, insts[b])
+				}
+			}
+			p := SubArrangement(full, subset)
+			q := SubArrangement(full, rest)
+			supP := supportOf(p)
+			supR := supportOf(q)
+			if supP == 0 || supR == 0 {
+				continue // cannot happen for patterns mined from db
+			}
+			conf := float64(r.Support) / float64(supP)
+			lift := conf / (float64(supR) / float64(n))
+			if conf < opt.MinConfidence || lift < opt.MinLift {
+				continue
+			}
+			out = append(out, Rule{
+				Antecedent: p,
+				Consequent: q,
+				Full:       full,
+				Support:    r.Support,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders rules by descending confidence, then descending lift,
+// then descending support, then antecedent key.
+func Sort(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Lift != rules[j].Lift {
+			return rules[i].Lift > rules[j].Lift
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].Antecedent.Key() < rules[j].Antecedent.Key()
+	})
+}
+
+type instKey struct {
+	sym string
+	occ int
+}
+
+// instancesOf lists the interval instances of a pattern in order of
+// first appearance.
+func instancesOf(p pattern.Temporal) []instKey {
+	seen := make(map[instKey]bool)
+	var out []instKey
+	for _, el := range p.Elements {
+		for _, e := range el {
+			k := instKey{e.Symbol, e.Occ}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// SubArrangement extracts the sub-pattern of p induced by the given
+// interval instances: elements keep only endpoints of those instances,
+// emptied elements vanish. The result is a valid, complete pattern when
+// p is (completeness of instances is preserved by construction).
+func SubArrangement(p pattern.Temporal, insts []instKey) pattern.Temporal {
+	want := make(map[instKey]bool, len(insts))
+	for _, k := range insts {
+		want[k] = true
+	}
+	var els [][]endpoint.Endpoint
+	for _, el := range p.Elements {
+		var kept []endpoint.Endpoint
+		for _, e := range el {
+			if want[instKey{e.Symbol, e.Occ}] {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) > 0 {
+			els = append(els, kept)
+		}
+	}
+	return pattern.NewTemporal(els...)
+}
+
+// Format renders rules as a readable multi-line report with the Allen
+// reading of each full arrangement.
+func Format(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%-60s conf %.2f  lift %5.2f  sup %d\n",
+			r.Antecedent.RelationSummary()+" => "+r.Full.RelationSummary(),
+			r.Confidence, r.Lift, r.Support)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// ruleDB: 10 sequences. "A" in all 10; "A overlaps B" in 6; "B" alone in
+// 2 more (8 B total).
+func ruleDB() *interval.Database {
+	db := &interval.Database{}
+	add := func(ivs ...interval.Interval) {
+		db.Sequences = append(db.Sequences, interval.Sequence{Intervals: ivs})
+	}
+	for i := 0; i < 6; i++ {
+		add(interval.Interval{Symbol: "A", Start: 0, End: 4},
+			interval.Interval{Symbol: "B", Start: 2, End: 6})
+	}
+	for i := 0; i < 2; i++ {
+		add(interval.Interval{Symbol: "A", Start: 0, End: 4})
+	}
+	for i := 0; i < 2; i++ {
+		add(interval.Interval{Symbol: "A", Start: 0, End: 4},
+			interval.Interval{Symbol: "B", Start: 10, End: 12})
+	}
+	return db
+}
+
+func TestDeriveKnownValues(t *testing.T) {
+	db := ruleDB()
+	rs, _, err := core.MineTemporal(db, core.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Derive(rs, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the rule A => (A overlaps B).
+	var found *Rule
+	for i := range rules {
+		if rules[i].Antecedent.String() == "A+ A-" &&
+			rules[i].Full.String() == "A+ B+ A- B-" {
+			found = &rules[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("rule A => A-overlaps-B missing; rules: %v", rules)
+	}
+	// sup(Q)=6, sup(A)=10 → conf 0.6; sup(B)=8, N=10 → lift 0.6/(0.8)=0.75.
+	if found.Support != 6 {
+		t.Errorf("support = %d, want 6", found.Support)
+	}
+	if math.Abs(found.Confidence-0.6) > 1e-9 {
+		t.Errorf("confidence = %v, want 0.6", found.Confidence)
+	}
+	if math.Abs(found.Lift-0.75) > 1e-9 {
+		t.Errorf("lift = %v, want 0.75", found.Lift)
+	}
+
+	// The reverse rule B => (A overlaps B): conf 6/8 = 0.75, lift
+	// 0.75/(10/10) = 0.75.
+	var rev *Rule
+	for i := range rules {
+		if rules[i].Antecedent.String() == "B+ B-" &&
+			rules[i].Full.String() == "A+ B+ A- B-" {
+			rev = &rules[i]
+		}
+	}
+	if rev == nil {
+		t.Fatal("reverse rule missing")
+	}
+	if math.Abs(rev.Confidence-0.75) > 1e-9 || math.Abs(rev.Lift-0.75) > 1e-9 {
+		t.Errorf("reverse rule scores: conf %v lift %v", rev.Confidence, rev.Lift)
+	}
+}
+
+func TestDeriveFilters(t *testing.T) {
+	db := ruleDB()
+	rs, _, err := core.MineTemporal(db, core.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Derive(rs, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Derive(rs, db, Options{MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) >= len(all) {
+		t.Errorf("confidence filter did not shrink: %d vs %d", len(high), len(all))
+	}
+	for _, r := range high {
+		if r.Confidence < 0.7 {
+			t.Errorf("rule below threshold kept: %v", r)
+		}
+	}
+	if _, err := Derive(rs, db, Options{MinConfidence: 2}); err == nil {
+		t.Error("invalid MinConfidence accepted")
+	}
+	if _, err := Derive(rs, db, Options{MinLift: -1}); err == nil {
+		t.Error("negative MinLift accepted")
+	}
+}
+
+// TestRuleInvariants: on mined data every rule's confidence is in
+// (0, 1], its support matches the full pattern's mined support, and the
+// antecedent/consequent partition the full pattern's instances.
+func TestRuleInvariants(t *testing.T) {
+	db := ruleDB()
+	rs, _, err := core.MineTemporal(db, core.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Derive(rs, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules derived")
+	}
+	for _, r := range rules {
+		if r.Confidence <= 0 || r.Confidence > 1 {
+			t.Errorf("confidence %v out of range: %v", r.Confidence, r)
+		}
+		if r.Lift <= 0 {
+			t.Errorf("non-positive lift: %v", r)
+		}
+		if err := r.Antecedent.Validate(); err != nil {
+			t.Errorf("invalid antecedent: %v", err)
+		}
+		if !r.Antecedent.Complete() || !r.Consequent.Complete() {
+			t.Errorf("incomplete rule parts: %v", r)
+		}
+		na := r.Antecedent.NumIntervals()
+		nc := r.Consequent.NumIntervals()
+		if na+nc != r.Full.NumIntervals() {
+			t.Errorf("instances don't partition: %d + %d != %d", na, nc, r.Full.NumIntervals())
+		}
+		// Antecedent and consequent are genuine sub-arrangements.
+		if !core.SubPattern(r.Antecedent, r.Full) || !core.SubPattern(r.Consequent, r.Full) {
+			t.Errorf("rule parts not sub-arrangements of full: %v", r)
+		}
+	}
+	// Sorted by confidence descending.
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Confidence < rules[i].Confidence {
+			t.Errorf("rules not sorted at %d", i)
+		}
+	}
+}
+
+func TestSubArrangement(t *testing.T) {
+	p, err := pattern.ParseTemporal("A+ B+ A- B- C+ C-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := SubArrangement(p, []instKey{{"A", 1}, {"C", 1}})
+	if sub.String() != "A+ A- C+ C-" {
+		t.Errorf("SubArrangement = %q", sub)
+	}
+	sub = SubArrangement(p, []instKey{{"B", 1}})
+	if sub.String() != "B+ B-" {
+		t.Errorf("SubArrangement = %q", sub)
+	}
+}
+
+func TestMaxInstancesCap(t *testing.T) {
+	// A pattern with 5 instances must be skipped at the default cap.
+	db := &interval.Database{}
+	var ivs []interval.Interval
+	for i := 0; i < 5; i++ {
+		ivs = append(ivs, interval.Interval{
+			Symbol: string(rune('A' + i)), Start: int64(10 * i), End: int64(10*i + 5),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		db.Sequences = append(db.Sequences, interval.Sequence{Intervals: ivs})
+	}
+	rs, _, err := core.MineTemporal(db, core.Options{MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Derive(rs, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Full.NumIntervals() > 4 {
+			t.Errorf("rule from over-cap pattern: %v", r)
+		}
+	}
+}
+
+func TestFormatAndString(t *testing.T) {
+	db := ruleDB()
+	rs, _, err := core.MineTemporal(db, core.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Derive(rs, db, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(rules)
+	if !strings.Contains(out, "=>") || !strings.Contains(out, "conf") {
+		t.Errorf("Format output: %q", out)
+	}
+	if s := rules[0].String(); !strings.Contains(s, "=>") {
+		t.Errorf("String output: %q", s)
+	}
+}

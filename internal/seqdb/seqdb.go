@@ -1,0 +1,376 @@
+// Package seqdb provides the integer-encoded sequence databases and the
+// pseudo-projection machinery shared by the projection-based miners.
+//
+// Both representations mined by P-TPMiner reduce to the same shape: a
+// database of sequences of slices, where each slice is a sorted set of
+// integer items (occurrence-indexed endpoints for the temporal view,
+// symbol ids for the coincidence view). Mining proceeds by PrefixSpan-
+// style pseudo-projection: a projected database is just a list of
+// (sequence, position) pairs into the one immutable encoded database —
+// no sequence data is ever copied.
+package seqdb
+
+import (
+	"fmt"
+	"sort"
+
+	"tpminer/internal/coincidence"
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+)
+
+// Item is an integer-encoded slice member. Item ids also define the
+// canonical in-slice order used for I-extensions.
+type Item int32
+
+// Slice is one time point of an encoded sequence: its items in ascending
+// id order.
+type Slice struct {
+	Time  interval.Time
+	Items []Item
+}
+
+// Sequence is an encoded sequence of slices.
+type Sequence struct {
+	Slices []Slice
+}
+
+// NumItems returns the total item count of the sequence.
+func (s *Sequence) NumItems() int {
+	n := 0
+	for i := range s.Slices {
+		n += len(s.Slices[i].Items)
+	}
+	return n
+}
+
+// Loc addresses one item inside a sequence.
+type Loc struct {
+	Slice int32 // slice index
+	Idx   int32 // item index within the slice
+}
+
+// Before reports whether l strictly precedes m in sequence order.
+func (l Loc) Before(m Loc) bool {
+	if l.Slice != m.Slice {
+		return l.Slice < m.Slice
+	}
+	return l.Idx < m.Idx
+}
+
+// ProjPos is one entry of a projected database: the position in sequence
+// Seq at which the current prefix's last item matched. The initial
+// projection uses Slice = -1 ("before the first slice").
+type ProjPos struct {
+	Seq int32
+	Loc
+}
+
+// Projection is a pseudo-projected database: one position per supporting
+// sequence, ordered by sequence index.
+type Projection []ProjPos
+
+// InitialProjection returns the projection representing the empty prefix
+// over n sequences.
+func InitialProjection(n int) Projection {
+	out := make(Projection, n)
+	for i := range out {
+		out[i] = ProjPos{Seq: int32(i), Loc: Loc{Slice: -1, Idx: -1}}
+	}
+	return out
+}
+
+// EndpointTable maps occurrence-indexed endpoints to dense item ids.
+// Ids are assigned in first-encounter order over the database, which
+// makes encoding deterministic for a given input.
+type EndpointTable struct {
+	ids map[endpoint.Endpoint]Item
+	eps []endpoint.Endpoint
+}
+
+// NewEndpointTable returns an empty table.
+func NewEndpointTable() *EndpointTable {
+	return &EndpointTable{ids: make(map[endpoint.Endpoint]Item)}
+}
+
+// Intern returns the id for e, assigning the next free id on first use.
+func (t *EndpointTable) Intern(e endpoint.Endpoint) Item {
+	if id, ok := t.ids[e]; ok {
+		return id
+	}
+	id := Item(len(t.eps))
+	t.ids[e] = id
+	t.eps = append(t.eps, e)
+	return id
+}
+
+// Lookup returns the id for e if it was interned.
+func (t *EndpointTable) Lookup(e endpoint.Endpoint) (Item, bool) {
+	id, ok := t.ids[e]
+	return id, ok
+}
+
+// Endpoint returns the endpoint for an interned id.
+func (t *EndpointTable) Endpoint(id Item) endpoint.Endpoint { return t.eps[id] }
+
+// Len returns the number of interned endpoints.
+func (t *EndpointTable) Len() int { return len(t.eps) }
+
+// SymbolTable maps symbols to dense item ids, first-encounter order.
+type SymbolTable struct {
+	ids  map[string]Item
+	syms []string
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]Item)}
+}
+
+// Intern returns the id for sym, assigning the next free id on first use.
+func (t *SymbolTable) Intern(sym string) Item {
+	if id, ok := t.ids[sym]; ok {
+		return id
+	}
+	id := Item(len(t.syms))
+	t.ids[sym] = id
+	t.syms = append(t.syms, sym)
+	return id
+}
+
+// Lookup returns the id for sym if it was interned.
+func (t *SymbolTable) Lookup(sym string) (Item, bool) {
+	id, ok := t.ids[sym]
+	return id, ok
+}
+
+// Symbol returns the symbol for an interned id.
+func (t *SymbolTable) Symbol(id Item) string { return t.syms[id] }
+
+// Len returns the number of interned symbols.
+func (t *SymbolTable) Len() int { return len(t.syms) }
+
+// EndpointDB is an interval database encoded into endpoint representation
+// with integer items. Because endpoints are occurrence-indexed, every
+// item appears at most once per sequence; Pos exploits that with an exact
+// per-sequence location index, and Pair links each item to the id of the
+// other end of the same interval.
+type EndpointDB struct {
+	Seqs  []Sequence
+	Table *EndpointTable
+	// Pair[i] is the item id of the matching endpoint of item i, or -1
+	// if the pair never occurs in the database (cannot happen for
+	// databases built by EncodeEndpointDB, but can after filtering).
+	Pair []Item
+	// IsFinish[i] reports whether item i is a finish endpoint.
+	IsFinish []bool
+	// Pos[s] locates each item occurring in sequence s.
+	Pos []map[Item]Loc
+}
+
+// EncodeEndpointDB encodes an interval database into endpoint
+// representation. Input sequences are validated; the input is not
+// modified.
+func EncodeEndpointDB(db *interval.Database) (*EndpointDB, error) {
+	out := &EndpointDB{
+		Seqs:  make([]Sequence, len(db.Sequences)),
+		Table: NewEndpointTable(),
+		Pos:   make([]map[Item]Loc, len(db.Sequences)),
+	}
+	for si := range db.Sequences {
+		slices, err := endpoint.Encode(db.Sequences[si])
+		if err != nil {
+			return nil, fmt.Errorf("seqdb: sequence %d: %w", si, err)
+		}
+		seq := Sequence{Slices: make([]Slice, len(slices))}
+		pos := make(map[Item]Loc, 2*len(db.Sequences[si].Intervals))
+		for ci, sl := range slices {
+			items := make([]Item, len(sl.Points))
+			for pi, p := range sl.Points {
+				items[pi] = out.Table.Intern(p)
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			for ii, it := range items {
+				pos[it] = Loc{Slice: int32(ci), Idx: int32(ii)}
+			}
+			seq.Slices[ci] = Slice{Time: sl.Time, Items: items}
+		}
+		out.Seqs[si] = seq
+		out.Pos[si] = pos
+	}
+	out.buildPairIndex()
+	return out, nil
+}
+
+func (db *EndpointDB) buildPairIndex() {
+	n := db.Table.Len()
+	db.Pair = make([]Item, n)
+	db.IsFinish = make([]bool, n)
+	for id := 0; id < n; id++ {
+		e := db.Table.Endpoint(Item(id))
+		db.IsFinish[id] = e.Kind == endpoint.Finish
+		if pid, ok := db.Table.Lookup(e.Pair()); ok {
+			db.Pair[id] = pid
+		} else {
+			db.Pair[id] = -1
+		}
+	}
+}
+
+// ItemSupports counts, per item id, the number of sequences containing
+// the item. For endpoint databases this is exact (each item occurs at
+// most once per sequence).
+func (db *EndpointDB) ItemSupports() []int {
+	sup := make([]int, db.Table.Len())
+	for si := range db.Seqs {
+		for it := range db.Pos[si] {
+			sup[it]++
+		}
+	}
+	return sup
+}
+
+// FilterInfrequent rebuilds the database dropping every item whose
+// support is below minCount, together with slices that become empty.
+// Start/finish pairs always have equal support, so pairs are dropped
+// together automatically. It returns the number of item ids removed.
+// This implements pruning P1 (global infrequent-endpoint pruning).
+func (db *EndpointDB) FilterInfrequent(minCount int) int {
+	sup := db.ItemSupports()
+	keep := make([]bool, len(sup))
+	removed := 0
+	for i, s := range sup {
+		keep[i] = s >= minCount
+		if s > 0 && s < minCount {
+			removed++ // only ids actually present count as removals
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	for si := range db.Seqs {
+		seq := &db.Seqs[si]
+		pos := make(map[Item]Loc)
+		outSlices := seq.Slices[:0]
+		for _, sl := range seq.Slices {
+			items := make([]Item, 0, len(sl.Items))
+			for _, it := range sl.Items {
+				if keep[it] {
+					items = append(items, it)
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			ci := int32(len(outSlices))
+			for ii, it := range items {
+				pos[it] = Loc{Slice: ci, Idx: int32(ii)}
+			}
+			outSlices = append(outSlices, Slice{Time: sl.Time, Items: items})
+		}
+		seq.Slices = outSlices
+		db.Pos[si] = pos
+	}
+	return removed
+}
+
+// CoincDB is an interval database encoded into coincidence representation
+// with integer symbol items. Unlike EndpointDB, the same item may occur
+// in many slices of one sequence.
+type CoincDB struct {
+	Seqs  []Sequence
+	Table *SymbolTable
+	// Durations[s][c] is the time extent of slice c of sequence s
+	// (End - Start of the underlying segment), kept for reporting.
+	Durations [][]interval.Time
+}
+
+// EncodeCoincidenceDB encodes an interval database into coincidence
+// representation.
+func EncodeCoincidenceDB(db *interval.Database) (*CoincDB, error) {
+	out := &CoincDB{
+		Seqs:      make([]Sequence, len(db.Sequences)),
+		Table:     NewSymbolTable(),
+		Durations: make([][]interval.Time, len(db.Sequences)),
+	}
+	for si := range db.Sequences {
+		segs, err := coincidence.Transform(db.Sequences[si])
+		if err != nil {
+			return nil, fmt.Errorf("seqdb: sequence %d: %w", si, err)
+		}
+		seq := Sequence{Slices: make([]Slice, len(segs))}
+		durs := make([]interval.Time, len(segs))
+		for ci, c := range segs {
+			items := make([]Item, len(c.Symbols))
+			for pi, sym := range c.Symbols {
+				items[pi] = out.Table.Intern(sym)
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			seq.Slices[ci] = Slice{Time: c.Start, Items: items}
+			durs[ci] = c.End - c.Start
+		}
+		out.Seqs[si] = seq
+		out.Durations[si] = durs
+	}
+	return out, nil
+}
+
+// ItemSupports counts, per symbol id, the number of sequences in which
+// the symbol is alive in at least one segment.
+func (db *CoincDB) ItemSupports() []int {
+	sup := make([]int, db.Table.Len())
+	seen := make([]int32, db.Table.Len())
+	for i := range seen {
+		seen[i] = -1
+	}
+	for si := range db.Seqs {
+		for _, sl := range db.Seqs[si].Slices {
+			for _, it := range sl.Items {
+				if seen[it] != int32(si) {
+					seen[it] = int32(si)
+					sup[it]++
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// FilterInfrequent rebuilds the coincidence database dropping every
+// symbol with support below minCount and slices that become empty.
+// Returns the number of symbol ids removed.
+func (db *CoincDB) FilterInfrequent(minCount int) int {
+	sup := db.ItemSupports()
+	keep := make([]bool, len(sup))
+	removed := 0
+	for i, s := range sup {
+		keep[i] = s >= minCount
+		if s > 0 && s < minCount {
+			removed++ // only ids actually present count as removals
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	for si := range db.Seqs {
+		seq := &db.Seqs[si]
+		outSlices := seq.Slices[:0]
+		outDurs := db.Durations[si][:0]
+		for ci, sl := range seq.Slices {
+			items := make([]Item, 0, len(sl.Items))
+			for _, it := range sl.Items {
+				if keep[it] {
+					items = append(items, it)
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			outSlices = append(outSlices, Slice{Time: sl.Time, Items: items})
+			outDurs = append(outDurs, db.Durations[si][ci])
+		}
+		seq.Slices = outSlices
+		db.Durations[si] = outDurs
+	}
+	return removed
+}

@@ -1,0 +1,456 @@
+// Package server exposes the miner as an HTTP service: named in-memory
+// datasets with upload/append endpoints and a mining endpoint per
+// pattern type. It is the integration surface a downstream system would
+// deploy (cmd/tpmd wraps it); everything is stdlib net/http.
+//
+// API (JSON in/out unless noted):
+//
+//	GET    /healthz                      liveness
+//	GET    /datasets                     list datasets with summaries
+//	PUT    /datasets/{name}              create/replace; body is csv,
+//	                                     lines, or json per Content-Type
+//	POST   /datasets/{name}/append       append sequences (same formats)
+//	GET    /datasets/{name}              dataset summary
+//	DELETE /datasets/{name}              remove
+//	POST   /datasets/{name}/mine         body: MineRequest; returns
+//	                                     patterns with supports
+//	POST   /datasets/{name}/rules        body: RulesRequest; returns
+//	                                     temporal association rules
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"tpminer/internal/core"
+	"tpminer/internal/dataio"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/rules"
+)
+
+// maxBodyBytes caps uploads and requests (64 MiB).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP mining service. Create with New, mount via
+// Handler.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*interval.Database
+	logger   *log.Logger
+}
+
+// New creates an empty server. logger may be nil (logging disabled).
+func New(logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		datasets: make(map[string]*interval.Database),
+		logger:   logger,
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /datasets", s.handleList)
+	mux.HandleFunc("PUT /datasets/{name}", s.handlePut)
+	mux.HandleFunc("GET /datasets/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
+	mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
+	mux.HandleFunc("POST /datasets/{name}/mine", s.handleMine)
+	mux.HandleFunc("POST /datasets/{name}/rules", s.handleRules)
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("server: encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// DatasetSummary is the wire form of GET /datasets and
+// GET /datasets/{name}.
+type DatasetSummary struct {
+	Name      string  `json:"name"`
+	Sequences int     `json:"sequences"`
+	Intervals int     `json:"intervals"`
+	Symbols   int     `json:"symbols"`
+	AvgSeqLen float64 `json:"avg_seq_len"`
+}
+
+func summarize(name string, db *interval.Database) DatasetSummary {
+	st := db.Summarize()
+	return DatasetSummary{
+		Name:      name,
+		Sequences: st.Sequences,
+		Intervals: st.Intervals,
+		Symbols:   st.Symbols,
+		AvgSeqLen: st.AvgSeqLen,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]DatasetSummary, 0, len(s.datasets))
+	for name, db := range s.datasets {
+		out = append(out, summarize(name, db))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// readDatasetBody parses an uploaded dataset according to Content-Type:
+// text/csv, application/json, or text/plain (line format; the default).
+func readDatasetBody(r *http.Request) (*interval.Database, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case "text/csv":
+		return dataio.ReadCSV(body)
+	case "application/json":
+		return dataio.ReadJSON(body)
+	case "", "text/plain":
+		return dataio.ReadLines(body)
+	default:
+		return nil, fmt.Errorf("unsupported Content-Type %q (want text/csv, application/json, or text/plain)", ct)
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	db, err := readDatasetBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	_, existed := s.datasets[name]
+	s.datasets[name] = db
+	s.mu.Unlock()
+	s.logger.Printf("server: put dataset %q (%d sequences)", name, db.Len())
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, summarize(name, db))
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	add, err := readDatasetBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	db, ok := s.datasets[name]
+	if ok {
+		db.Sequences = append(db.Sequences, add.Sequences...)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, summarize(name, db))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	db, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, summarize(name, db))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MineRequest is the body of POST /datasets/{name}/mine.
+type MineRequest struct {
+	// Type is "temporal" (default) or "coincidence".
+	Type string `json:"type,omitempty"`
+	// MinSupport in (0,1], or MinCount >= 1 (one required).
+	MinSupport float64 `json:"min_support,omitempty"`
+	MinCount   int     `json:"min_count,omitempty"`
+	// Optional constraints and modes.
+	MaxIntervals       int    `json:"max_intervals,omitempty"`
+	MaxElements        int    `json:"max_elements,omitempty"`
+	MaxItemsPerElement int    `json:"max_items_per_element,omitempty"`
+	MaxSpan            int64  `json:"max_span,omitempty"`
+	MaxGap             int64  `json:"max_gap,omitempty"`
+	TopK               int    `json:"top_k,omitempty"`
+	Filter             string `json:"filter,omitempty"` // "", "closed", "maximal"
+}
+
+func (req MineRequest) options() core.Options {
+	return core.Options{
+		MinSupport:         req.MinSupport,
+		MinCount:           req.MinCount,
+		MaxIntervals:       req.MaxIntervals,
+		MaxElements:        req.MaxElements,
+		MaxItemsPerElement: req.MaxItemsPerElement,
+		MaxSpan:            req.MaxSpan,
+		MaxGap:             req.MaxGap,
+	}
+}
+
+// MinedPattern is one result row of the mine endpoint.
+type MinedPattern struct {
+	Support   int    `json:"support"`
+	Pattern   string `json:"pattern"`
+	Relations string `json:"relations,omitempty"`
+}
+
+// MineResponse is the body returned by the mine endpoint.
+type MineResponse struct {
+	Dataset  string         `json:"dataset"`
+	Type     string         `json:"type"`
+	Count    int            `json:"count"`
+	Patterns []MinedPattern `json:"patterns"`
+	Stats    MineStats      `json:"stats"`
+}
+
+// MineStats is the wire form of the search counters.
+type MineStats struct {
+	Sequences      int    `json:"sequences"`
+	MinCount       int    `json:"min_count"`
+	Nodes          int64  `json:"nodes"`
+	CandidateScans int64  `json:"candidate_scans"`
+	ElapsedMillis  string `json:"elapsed"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req MineRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	db, ok := s.snapshot(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+
+	ptype := req.Type
+	if ptype == "" {
+		ptype = "temporal"
+	}
+	switch req.Filter {
+	case "", "closed", "maximal":
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown filter %q", req.Filter))
+		return
+	}
+
+	resp := MineResponse{Dataset: name, Type: ptype}
+	switch ptype {
+	case "temporal":
+		var (
+			rs  []pattern.TemporalResult
+			st  core.Stats
+			err error
+		)
+		if req.TopK > 0 {
+			rs, st, err = core.MineTemporalTopK(db, req.TopK, req.options())
+		} else {
+			rs, st, err = core.MineTemporal(db, req.options())
+		}
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch req.Filter {
+		case "closed":
+			rs = core.FilterClosed(rs)
+		case "maximal":
+			rs = core.FilterMaximal(rs)
+		}
+		for _, pr := range rs {
+			resp.Patterns = append(resp.Patterns, MinedPattern{
+				Support:   pr.Support,
+				Pattern:   pr.Pattern.String(),
+				Relations: pr.Pattern.RelationSummary(),
+			})
+		}
+		resp.Stats = wireStats(st)
+	case "coincidence":
+		var (
+			rs  []pattern.CoincResult
+			st  core.Stats
+			err error
+		)
+		if req.TopK > 0 {
+			rs, st, err = core.MineCoincidenceTopK(db, req.TopK, req.options())
+		} else {
+			rs, st, err = core.MineCoincidence(db, req.options())
+		}
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch req.Filter {
+		case "closed":
+			rs = core.FilterClosedCoinc(rs)
+		case "maximal":
+			rs = core.FilterMaximalCoinc(rs)
+		}
+		for _, pr := range rs {
+			resp.Patterns = append(resp.Patterns, MinedPattern{
+				Support: pr.Support,
+				Pattern: pr.Pattern.String(),
+			})
+		}
+		resp.Stats = wireStats(st)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown type %q", ptype))
+		return
+	}
+	resp.Count = len(resp.Patterns)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// RulesRequest is the body of POST /datasets/{name}/rules: mine
+// temporal patterns, then derive association rules.
+type RulesRequest struct {
+	MinSupport    float64 `json:"min_support,omitempty"`
+	MinCount      int     `json:"min_count,omitempty"`
+	MaxIntervals  int     `json:"max_intervals,omitempty"`
+	MinConfidence float64 `json:"min_confidence,omitempty"`
+	MinLift       float64 `json:"min_lift,omitempty"`
+}
+
+// WireRule is one derived rule on the wire.
+type WireRule struct {
+	Antecedent string  `json:"antecedent"`
+	Full       string  `json:"full"`
+	Relations  string  `json:"relations"`
+	Support    int     `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RulesRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	db, ok := s.snapshot(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	opt := core.Options{
+		MinSupport:   req.MinSupport,
+		MinCount:     req.MinCount,
+		MaxIntervals: req.MaxIntervals,
+	}
+	rs, _, err := core.MineTemporal(db, opt)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	derived, err := rules.Derive(rs, db, rules.Options{
+		MinConfidence: req.MinConfidence,
+		MinLift:       req.MinLift,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]WireRule, len(derived))
+	for i, ru := range derived {
+		out[i] = WireRule{
+			Antecedent: ru.Antecedent.String(),
+			Full:       ru.Full.String(),
+			Relations:  ru.Full.RelationSummary(),
+			Support:    ru.Support,
+			Confidence: ru.Confidence,
+			Lift:       ru.Lift,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// snapshot returns a deep copy of the named dataset so mining runs
+// without holding the lock (appends may proceed concurrently).
+func (s *Server) snapshot(name string) (*interval.Database, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	db, ok := s.datasets[name]
+	if !ok {
+		return nil, false
+	}
+	return db.Clone(), true
+}
+
+// decodeJSONBody parses a JSON request body, tolerating an empty body
+// (all-default request).
+func decodeJSONBody(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body = defaults
+		}
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+func wireStats(st core.Stats) MineStats {
+	return MineStats{
+		Sequences:      st.Sequences,
+		MinCount:       st.MinCount,
+		Nodes:          st.Nodes,
+		CandidateScans: st.CandidateScans,
+		ElapsedMillis:  st.Elapsed.String(),
+	}
+}

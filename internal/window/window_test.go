@@ -1,0 +1,222 @@
+package window
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+)
+
+func longSeq() interval.Sequence {
+	// A recurring motif every 50 units: A overlaps B.
+	var ivs []interval.Interval
+	for t := int64(0); t < 500; t += 50 {
+		ivs = append(ivs,
+			interval.Interval{Symbol: "A", Start: t, End: t + 10},
+			interval.Interval{Symbol: "B", Start: t + 5, End: t + 15},
+		)
+	}
+	return interval.Sequence{ID: "trace", Intervals: ivs}
+}
+
+func TestSlideValidation(t *testing.T) {
+	seq := longSeq()
+	if _, err := Slide(seq, Config{Width: 0}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Slide(seq, Config{Width: 10, Stride: -1}); err == nil {
+		t.Error("negative stride accepted")
+	}
+	if _, err := Slide(seq, Config{Width: 10, Policy: Policy(99)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	bad := interval.Sequence{Intervals: []interval.Interval{{Symbol: "A", Start: 5, End: 1}}}
+	if _, err := Slide(bad, Config{Width: 10}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	empty := interval.Sequence{}
+	db, err := Slide(empty, Config{Width: 10})
+	if err != nil || db.Len() != 0 {
+		t.Errorf("empty sequence: %v, %v", db, err)
+	}
+}
+
+func TestSlideTumbling(t *testing.T) {
+	seq := longSeq()
+	db, err := Slide(seq, Config{Width: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span 0..465, tumbling 50-wide windows from 0: starts 0,50,...,450.
+	if db.Len() != 10 {
+		t.Fatalf("windows = %d", db.Len())
+	}
+	for i := range db.Sequences {
+		if !strings.HasPrefix(db.Sequences[i].ID, "trace[w") {
+			t.Errorf("window id %q", db.Sequences[i].ID)
+		}
+	}
+}
+
+func TestSlidePolicies(t *testing.T) {
+	seq := interval.Sequence{ID: "x", Intervals: []interval.Interval{
+		{Symbol: "L", Start: 0, End: 100}, // long: crosses every border
+		{Symbol: "S", Start: 12, End: 14}, // short: inside window [10,20]
+	}}
+
+	// Clip: L appears in every window, trimmed.
+	db, err := Slide(seq, Config{Width: 10, Policy: Clip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Sequences {
+		for _, iv := range db.Sequences[i].Intervals {
+			if iv.Duration() > 10 {
+				t.Errorf("clip left %v longer than the window", iv)
+			}
+		}
+	}
+	if db.Len() != 11 { // windows 0..100
+		t.Errorf("clip windows = %d", db.Len())
+	}
+
+	// WholeIfStarts: L only in the window containing its start, whole.
+	db, err = Slide(seq, Config{Width: 10, Policy: WholeIfStarts, DropEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countL := 0
+	for i := range db.Sequences {
+		for _, iv := range db.Sequences[i].Intervals {
+			if iv.Symbol == "L" {
+				countL++
+				if iv.Duration() != 100 {
+					t.Errorf("whole-if-starts clipped %v", iv)
+				}
+			}
+		}
+	}
+	if countL != 1 {
+		t.Errorf("L in %d windows under WholeIfStarts", countL)
+	}
+
+	// ContainedOnly: L never fits; S fits exactly one tumbling window.
+	db, err = Slide(seq, Config{Width: 10, Policy: ContainedOnly, DropEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Sequences {
+		for _, iv := range db.Sequences[i].Intervals {
+			if iv.Symbol == "L" {
+				t.Errorf("contained-only kept %v", iv)
+			}
+		}
+	}
+}
+
+func TestSlideDropEmpty(t *testing.T) {
+	seq := interval.Sequence{ID: "gap", Intervals: []interval.Interval{
+		{Symbol: "A", Start: 0, End: 5},
+		{Symbol: "A", Start: 200, End: 205},
+	}}
+	withEmpty, err := Slide(seq, Config{Width: 10, Policy: ContainedOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Slide(seq, Config{Width: 10, Policy: ContainedOnly, DropEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEmpty.Len() <= without.Len() {
+		t.Errorf("empty windows not kept: %d vs %d", withEmpty.Len(), without.Len())
+	}
+	if without.Len() != 2 {
+		t.Errorf("non-empty windows = %d, want 2", without.Len())
+	}
+}
+
+func TestWindowedMiningFindsMotif(t *testing.T) {
+	// The recurring A-overlaps-B motif must be frequent across windows.
+	db, err := Slide(longSeq(), Config{Width: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := core.MineTemporal(db, core.Options{MinSupport: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.Pattern.String() == "A+ B+ A- B-" {
+			found = true
+			if r.Support < 8 {
+				t.Errorf("motif support %d over %d windows", r.Support, db.Len())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("motif not frequent across windows: %v", rs)
+	}
+}
+
+// TestSlideCoverageProperty: under Clip with stride <= width, every
+// interval point of the input appears in at least one window, and every
+// emitted interval lies inside its window.
+func TestSlideCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		seq := interval.Sequence{ID: "r"}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			start := rng.Int63n(100)
+			seq.Intervals = append(seq.Intervals, interval.Interval{
+				Symbol: string(rune('A' + rng.Intn(3))),
+				Start:  start,
+				End:    start + rng.Int63n(30),
+			})
+		}
+		width := 5 + rng.Int63n(20)
+		stride := 1 + rng.Int63n(width)
+		db, err := Slide(seq, Config{Width: width, Stride: stride})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		for i := range db.Sequences {
+			lo, hi, parseOK := windowRange(db.Sequences[i].ID)
+			if !parseOK {
+				t.Fatalf("bad window id %q", db.Sequences[i].ID)
+			}
+			for _, iv := range db.Sequences[i].Intervals {
+				if iv.Start < lo || iv.End > hi {
+					t.Fatalf("interval %v escapes window [%d,%d]", iv, lo, hi)
+				}
+				total += 1 + iv.Duration()
+			}
+		}
+		if len(seq.Intervals) > 0 && total == 0 {
+			t.Fatal("no interval mass in any window")
+		}
+	}
+}
+
+// windowRange parses "id[wLO,HI]".
+func windowRange(id string) (lo, hi int64, ok bool) {
+	i := strings.LastIndex(id, "[w")
+	if i < 0 || !strings.HasSuffix(id, "]") {
+		return 0, 0, false
+	}
+	body := id[i+2 : len(id)-1]
+	comma := strings.IndexByte(body, ',')
+	if comma < 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.ParseInt(body[:comma], 10, 64)
+	hi, err2 := strconv.ParseInt(body[comma+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

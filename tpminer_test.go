@@ -1,0 +1,241 @@
+package tpminer_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpminer"
+)
+
+func apiSampleDB() *tpminer.Database {
+	return tpminer.NewDatabase(
+		[]tpminer.Interval{
+			{Symbol: "A", Start: 0, End: 4},
+			{Symbol: "B", Start: 2, End: 6},
+		},
+		[]tpminer.Interval{
+			{Symbol: "A", Start: 10, End: 14},
+			{Symbol: "B", Start: 12, End: 16},
+		},
+		[]tpminer.Interval{
+			{Symbol: "B", Start: 0, End: 2},
+		},
+	)
+}
+
+func TestPublicAPITemporal(t *testing.T) {
+	db := apiSampleDB()
+	rs, stats, err := tpminer.MineTemporalPatterns(db, tpminer.Options{MinSupport: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sequences != 3 || stats.MinCount != 2 {
+		t.Errorf("stats: %+v", stats)
+	}
+	var overlap *tpminer.TemporalResult
+	for i := range rs {
+		if rs[i].Pattern.String() == "A+ B+ A- B-" {
+			overlap = &rs[i]
+		}
+	}
+	if overlap == nil || overlap.Support != 2 {
+		t.Fatalf("A-overlaps-B missing or wrong support: %v", rs)
+	}
+	if got := overlap.Pattern.RelationSummary(); got != "A overlaps B" {
+		t.Errorf("RelationSummary = %q", got)
+	}
+}
+
+func TestPublicAPICoincidence(t *testing.T) {
+	db := apiSampleDB()
+	rs, _, err := tpminer.MineCoincidencePatterns(db, tpminer.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.Pattern.String() == "{A B}" && r.Support == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("{A B} missing: %v", rs)
+	}
+}
+
+func TestPublicAPIParseAndSupport(t *testing.T) {
+	db := apiSampleDB()
+	p, err := tpminer.ParseTemporalPattern("A+ B+ A- B-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := tpminer.Support(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup != 2 {
+		t.Errorf("Support = %d, want 2", sup)
+	}
+	if got := tpminer.SupportAnyBinding(db, p); got != 2 {
+		t.Errorf("SupportAnyBinding = %d, want 2", got)
+	}
+	cp, err := tpminer.ParseCoincidencePattern("{A B}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.String() != "{A B}" {
+		t.Errorf("coincidence parse: %v", cp)
+	}
+}
+
+func TestPublicAPIRelate(t *testing.T) {
+	a := tpminer.Interval{Symbol: "a", Start: 0, End: 5}
+	b := tpminer.Interval{Symbol: "b", Start: 5, End: 9}
+	if got := tpminer.Relate(a, b); got != tpminer.Meets {
+		t.Errorf("Relate = %v, want meets", got)
+	}
+	if tpminer.Meets.Inverse() != tpminer.MetBy {
+		t.Error("re-exported relation constants broken")
+	}
+}
+
+func TestPublicAPIIO(t *testing.T) {
+	db := apiSampleDB()
+	var buf bytes.Buffer
+	if err := tpminer.WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tpminer.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || back.NumIntervals() != db.NumIntervals() {
+		t.Errorf("csv round trip: %v", back)
+	}
+
+	buf.Reset()
+	if err := tpminer.WriteLines(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A[0,4] B[2,6]") {
+		t.Errorf("lines output: %q", buf.String())
+	}
+	back, err = tpminer.ReadLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("lines round trip: %v", back)
+	}
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	db := apiSampleDB()
+
+	// Top-k.
+	topk, _, err := tpminer.MineTopKTemporalPatterns(db, 2, tpminer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) != 2 {
+		t.Errorf("topk = %d patterns", len(topk))
+	}
+
+	// Closed / maximal.
+	all, _, err := tpminer.MineTemporalPatterns(db, tpminer.Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := tpminer.ClosedPatterns(all)
+	maximal := tpminer.MaximalPatterns(all)
+	if len(maximal) > len(closed) || len(closed) > len(all) {
+		t.Errorf("filter sizes: %d/%d/%d", len(maximal), len(closed), len(all))
+	}
+
+	// Rules.
+	rules, err := tpminer.DeriveRules(all, db, tpminer.RuleOptions{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Error("no rules derived")
+	}
+
+	// Rendering.
+	out := tpminer.RenderSequence(db.Sequences[0], tpminer.RenderOptions{Width: 20})
+	if !strings.Contains(out, "A") {
+		t.Errorf("render: %q", out)
+	}
+	if len(all) > 0 {
+		if got := tpminer.RenderPattern(all[0].Pattern, tpminer.RenderOptions{Width: 20}); got == "" {
+			t.Error("empty pattern rendering")
+		}
+	}
+}
+
+func TestPublicAPIWindowsAndIncremental(t *testing.T) {
+	// Windowing.
+	long := tpminer.Sequence{ID: "trace"}
+	for i := int64(0); i < 10; i++ {
+		long.Intervals = append(long.Intervals,
+			tpminer.Interval{Symbol: "A", Start: i * 20, End: i*20 + 5},
+			tpminer.Interval{Symbol: "B", Start: i*20 + 2, End: i*20 + 8},
+		)
+	}
+	windows, err := tpminer.SlideWindows(long, tpminer.WindowConfig{
+		Width: 20, Policy: tpminer.WindowWholeIfStarts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows.Len() < 8 {
+		t.Fatalf("windows = %d", windows.Len())
+	}
+	rs, _, err := tpminer.MineTemporalPatterns(windows, tpminer.Options{MinSupport: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.Pattern.String() == "A+ B+ A- B-" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("windowed motif missing: %v", rs)
+	}
+
+	// Incremental.
+	inc, err := tpminer.NewIncrementalMiner(tpminer.Options{MinSupport: 0.5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := inc.Append(tpminer.Sequence{
+			ID: "s",
+			Intervals: []tpminer.Interval{
+				{Symbol: "A", Start: 0, End: 4},
+				{Symbol: "B", Start: 2, End: 6},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := inc.Patterns()
+	if len(got) == 0 {
+		t.Fatal("incremental returned nothing")
+	}
+	foundInc := false
+	for _, r := range got {
+		if r.Pattern.String() == "A+ B+ A- B-" && r.Support == 6 {
+			foundInc = true
+		}
+	}
+	if !foundInc {
+		t.Errorf("incremental results: %v", got)
+	}
+	if st := inc.Stats(); st.Appends != 6 {
+		t.Errorf("stats: %+v", st)
+	}
+}
