@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run; the cancellation/backpressure tests exercise real
+# concurrency, so this is the form CI should run.
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate.
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

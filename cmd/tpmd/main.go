@@ -1,12 +1,19 @@
 // Command tpmd runs the mining HTTP service.
 //
-//	tpmd -addr :8080
+//	tpmd -addr :8080 -max-mines 8 -mine-timeout 30s
 //
 // Endpoints (see internal/server for the full API):
 //
 //	PUT    /datasets/{name}        upload a dataset (csv/lines/json body)
 //	POST   /datasets/{name}/mine   mine patterns, JSON request/response
 //	POST   /datasets/{name}/rules  derive temporal association rules
+//
+// The server is resource-bounded: -max-mines caps concurrent mining
+// jobs (excess requests get 429), -mine-timeout is the hard per-job
+// deadline (requests may lower it via timeout_ms), and -max-body caps
+// request bodies. On SIGINT or SIGTERM the server stops accepting
+// connections and drains in-flight requests — mining jobs finish within
+// their deadline — for up to -grace before exiting.
 //
 // Example session:
 //
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"tpminer/internal/server"
@@ -41,14 +49,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tpmd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	maxMines := fs.Int("max-mines", 0, "max concurrent mining jobs (0 = GOMAXPROCS); excess requests get 429")
+	mineTimeout := fs.Duration("mine-timeout", server.DefaultMaxMineDuration, "hard per-job mining deadline")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "tpmd: ", log.LstdFlags)
+	svc := server.NewWithConfig(logger, server.Config{
+		MaxConcurrentMines: *maxMines,
+		MaxMineDuration:    *mineTimeout,
+		MaxBodyBytes:       *maxBody,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(logger).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -58,21 +75,24 @@ func run(args []string) error {
 		errc <- srv.ListenAndServe()
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what container orchestrators send; treat it exactly
+	// like Ctrl-C so both get a graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		logger.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logger.Printf("signal received, draining in-flight requests (up to %s)", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return err
+			return fmt.Errorf("shutdown: %w", err)
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		logger.Printf("drained, exiting")
 		return nil
 	}
 }

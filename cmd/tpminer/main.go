@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxSpan   = fs.Int64("max-span", 0, "max embedding time span, temporal only (0 = unlimited)")
 		maxGap    = fs.Int64("max-gap", 0, "max time gap between consecutive elements, temporal only (0 = unlimited)")
 		parallel  = fs.Int("parallel", 0, "worker goroutines for ptpminer (0 = serial)")
+		timeout   = fs.Duration("timeout", 0, "abort mining after this duration, ptpminer only (0 = unlimited)")
+		maxPats   = fs.Int("max-patterns", 0, "stop after emitting this many patterns, ptpminer only (0 = unlimited)")
 		topk      = fs.Int("topk", 0, "mine only the k best-supported patterns (threshold flags become a floor)")
 		closed    = fs.Bool("closed", false, "keep only closed patterns")
 		maximal   = fs.Bool("maximal", false, "keep only maximal patterns")
@@ -72,6 +75,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if (*timeout > 0 || *maxPats > 0) && *algo != "ptpminer" {
+		return fmt.Errorf("-timeout and -max-patterns are only supported with -algo ptpminer")
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := core.Options{
 		MinSupport:   *minsup,
 		MinCount:     *mincount,
@@ -80,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxSpan:      *maxSpan,
 		MaxGap:       *maxGap,
 		Parallel:     *parallel,
+		MaxPatterns:  *maxPats,
 	}
 
 	w := stdout
@@ -105,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	switch *ptype {
 	case "temporal":
-		miner, err := temporalMiner(*algo)
+		miner, err := temporalMiner(ctx, *algo)
 		if err != nil {
 			return err
 		}
@@ -117,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if opt.MinCount == 0 && opt.MinSupport == 0 {
 				opt.MinCount = 1
 			}
-			rs, st, err = core.MineTemporalTopK(db, *topk, opt)
+			rs, st, err = core.MineTemporalTopKCtx(ctx, db, *topk, opt)
 		} else {
 			rs, st, err = miner(db, opt)
 		}
@@ -165,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		printStats(stderr, *stats, len(rs), st)
 	case "coincidence":
-		miner, err := coincMiner(*algo)
+		miner, err := coincMiner(ctx, *algo)
 		if err != nil {
 			return err
 		}
@@ -177,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if opt.MinCount == 0 && opt.MinSupport == 0 {
 				opt.MinCount = 1
 			}
-			rs, st, err = core.MineCoincidenceTopK(db, *topk, opt)
+			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, *topk, opt)
 		} else {
 			rs, st, err = miner(db, opt)
 		}
@@ -267,10 +281,12 @@ func readDatabase(path, format string) (*interval.Database, error) {
 	}
 }
 
-func temporalMiner(algo string) (func(*interval.Database, core.Options) ([]pattern.TemporalResult, core.Stats, error), error) {
+func temporalMiner(ctx context.Context, algo string) (func(*interval.Database, core.Options) ([]pattern.TemporalResult, core.Stats, error), error) {
 	switch algo {
 	case "ptpminer":
-		return core.MineTemporal, nil
+		return func(db *interval.Database, opt core.Options) ([]pattern.TemporalResult, core.Stats, error) {
+			return core.MineTemporalCtx(ctx, db, opt)
+		}, nil
 	case "tprefixspan":
 		return baseline.TPrefixSpan, nil
 	case "apriori":
@@ -280,10 +296,12 @@ func temporalMiner(algo string) (func(*interval.Database, core.Options) ([]patte
 	}
 }
 
-func coincMiner(algo string) (func(*interval.Database, core.Options) ([]pattern.CoincResult, core.Stats, error), error) {
+func coincMiner(ctx context.Context, algo string) (func(*interval.Database, core.Options) ([]pattern.CoincResult, core.Stats, error), error) {
 	switch algo {
 	case "ptpminer":
-		return core.MineCoincidence, nil
+		return func(db *interval.Database, opt core.Options) ([]pattern.CoincResult, core.Stats, error) {
+			return core.MineCoincidenceCtx(ctx, db, opt)
+		}, nil
 	case "apriori":
 		return baseline.AprioriCoincidence, nil
 	default:
@@ -292,6 +310,9 @@ func coincMiner(algo string) (func(*interval.Database, core.Options) ([]pattern.
 }
 
 func printStats(w io.Writer, enabled bool, n int, st core.Stats) {
+	if st.Truncated {
+		fmt.Fprintf(w, "warning: result truncated by %s; patterns beyond the budget are missing\n", st.TruncatedBy)
+	}
 	if !enabled {
 		return
 	}

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"tpminer/internal/dataio"
 )
@@ -239,5 +241,61 @@ func TestRunMatchMode(t *testing.T) {
 
 	if err := run([]string{"-in", in, "-match", "A-"}, &out, &errw); err == nil {
 		t.Error("invalid pattern accepted by -match")
+	}
+}
+
+// explosiveCSV: n identical sequences of k pairwise-overlapping
+// intervals, so an unbounded mine at mincount=n cannot finish quickly
+// and the budget flags always engage.
+func explosiveCSV(n, k int) string {
+	var b strings.Builder
+	b.WriteString("sequence_id,symbol,start,end\n")
+	for s := 0; s < n; s++ {
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&b, "e%d,S%02d,%d,%d\n", s, i, i, k+i)
+		}
+	}
+	return b.String()
+}
+
+func TestRunBudgetFlags(t *testing.T) {
+	in := writeTemp(t, "big.csv", explosiveCSV(3, 16))
+
+	// -timeout aborts the run with an error.
+	var out, errw bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-in", in, "-mincount", "3", "-timeout", "50ms"}, &out, &errw)
+	if err == nil {
+		t.Fatal("timed-out run reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("50ms-timeout run took %v", elapsed)
+	}
+
+	// -max-patterns keeps partial output and warns on stderr.
+	out.Reset()
+	errw.Reset()
+	if err := run([]string{"-in", in, "-mincount", "3", "-max-patterns", "5"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dataio.ReadTemporalResults(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || len(rs) > 5 {
+		t.Errorf("got %d patterns, want 1..5", len(rs))
+	}
+	if !strings.Contains(errw.String(), "truncated by max_patterns") {
+		t.Errorf("truncation warning missing: %q", errw.String())
+	}
+
+	// Budget flags are ptpminer-only.
+	for _, args := range [][]string{
+		{"-in", in, "-mincount", "3", "-algo", "tprefixspan", "-timeout", "1s"},
+		{"-in", in, "-mincount", "3", "-algo", "apriori", "-max-patterns", "5"},
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tpminer/internal/endpoint"
 	"tpminer/internal/interval"
 	"tpminer/internal/pattern"
@@ -77,7 +79,15 @@ func SubPattern(p, q pattern.Temporal) bool {
 // super-pattern of equal support in rs. The input is not modified; the
 // output is sorted.
 func FilterClosed(rs []pattern.TemporalResult) []pattern.TemporalResult {
-	return filterSubsumed(rs, func(sub, super pattern.TemporalResult) bool {
+	out, _ := FilterClosedCtx(context.Background(), rs)
+	return out
+}
+
+// FilterClosedCtx is FilterClosed with cooperative cancellation: the
+// quadratic subsumption scan polls ctx and aborts with ctx.Err() and a
+// nil result when it is cancelled.
+func FilterClosedCtx(ctx context.Context, rs []pattern.TemporalResult) ([]pattern.TemporalResult, error) {
+	return filterSubsumed(ctx, rs, func(sub, super pattern.TemporalResult) bool {
 		return sub.Support == super.Support
 	})
 }
@@ -86,23 +96,39 @@ func FilterClosed(rs []pattern.TemporalResult) []pattern.TemporalResult {
 // frequent super-pattern in rs at all. Maximal sets are smaller than
 // closed sets but lose exact supports of sub-patterns.
 func FilterMaximal(rs []pattern.TemporalResult) []pattern.TemporalResult {
-	return filterSubsumed(rs, func(sub, super pattern.TemporalResult) bool {
+	out, _ := FilterMaximalCtx(context.Background(), rs)
+	return out
+}
+
+// FilterMaximalCtx is FilterMaximal with cooperative cancellation; see
+// FilterClosedCtx.
+func FilterMaximalCtx(ctx context.Context, rs []pattern.TemporalResult) ([]pattern.TemporalResult, error) {
+	return filterSubsumed(ctx, rs, func(sub, super pattern.TemporalResult) bool {
 		return true
 	})
 }
 
 // filterSubsumed drops every result subsumed by a strictly larger result
 // for which admits returns true.
-func filterSubsumed(rs []pattern.TemporalResult, admits func(sub, super pattern.TemporalResult) bool) []pattern.TemporalResult {
+func filterSubsumed(ctx context.Context, rs []pattern.TemporalResult, admits func(sub, super pattern.TemporalResult) bool) ([]pattern.TemporalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Pre-materialize super-pattern sequences once.
 	seqs := make([]interval.Sequence, len(rs))
 	for i := range rs {
 		seqs[i] = patternAsSequence(rs[i].Pattern)
 	}
+	var ops int64
 	out := make([]pattern.TemporalResult, 0, len(rs))
 	for i := range rs {
 		subsumed := false
 		for j := range rs {
+			if ops++; ops&(pollInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if i == j || rs[j].Pattern.Size() <= rs[i].Pattern.Size() {
 				continue
 			}
@@ -121,5 +147,5 @@ func filterSubsumed(rs []pattern.TemporalResult, admits func(sub, super pattern.
 		}
 	}
 	pattern.SortTemporalResults(out)
-	return out
+	return out, nil
 }

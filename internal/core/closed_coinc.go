@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tpminer/internal/coincidence"
 	"tpminer/internal/pattern"
 )
@@ -32,7 +34,14 @@ func coincElements(q pattern.Coinc) []coincidence.Coincidence {
 // FilterClosedCoinc keeps only closed coincidence patterns: those with
 // no proper super-pattern of equal support in rs.
 func FilterClosedCoinc(rs []pattern.CoincResult) []pattern.CoincResult {
-	return filterCoincSubsumed(rs, func(sub, super pattern.CoincResult) bool {
+	out, _ := FilterClosedCoincCtx(context.Background(), rs)
+	return out
+}
+
+// FilterClosedCoincCtx is FilterClosedCoinc with cooperative
+// cancellation; see FilterClosedCtx.
+func FilterClosedCoincCtx(ctx context.Context, rs []pattern.CoincResult) ([]pattern.CoincResult, error) {
+	return filterCoincSubsumed(ctx, rs, func(sub, super pattern.CoincResult) bool {
 		return sub.Support == super.Support
 	})
 }
@@ -40,20 +49,36 @@ func FilterClosedCoinc(rs []pattern.CoincResult) []pattern.CoincResult {
 // FilterMaximalCoinc keeps only maximal coincidence patterns: those
 // with no proper frequent super-pattern in rs at all.
 func FilterMaximalCoinc(rs []pattern.CoincResult) []pattern.CoincResult {
-	return filterCoincSubsumed(rs, func(sub, super pattern.CoincResult) bool {
+	out, _ := FilterMaximalCoincCtx(context.Background(), rs)
+	return out
+}
+
+// FilterMaximalCoincCtx is FilterMaximalCoinc with cooperative
+// cancellation; see FilterClosedCtx.
+func FilterMaximalCoincCtx(ctx context.Context, rs []pattern.CoincResult) ([]pattern.CoincResult, error) {
+	return filterCoincSubsumed(ctx, rs, func(sub, super pattern.CoincResult) bool {
 		return true
 	})
 }
 
-func filterCoincSubsumed(rs []pattern.CoincResult, admits func(sub, super pattern.CoincResult) bool) []pattern.CoincResult {
+func filterCoincSubsumed(ctx context.Context, rs []pattern.CoincResult, admits func(sub, super pattern.CoincResult) bool) ([]pattern.CoincResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seqs := make([][]coincidence.Coincidence, len(rs))
 	for i := range rs {
 		seqs[i] = coincElements(rs[i].Pattern)
 	}
+	var ops int64
 	out := make([]pattern.CoincResult, 0, len(rs))
 	for i := range rs {
 		subsumed := false
 		for j := range rs {
+			if ops++; ops&(pollInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if i == j || rs[j].Pattern.Size() <= rs[i].Pattern.Size() {
 				continue
 			}
@@ -70,5 +95,5 @@ func filterCoincSubsumed(rs []pattern.CoincResult, admits func(sub, super patter
 		}
 	}
 	pattern.SortCoincResults(out)
-	return out
+	return out, nil
 }

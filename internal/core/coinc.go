@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -17,6 +18,12 @@ import (
 // projection. Prunings P2/P3 are endpoint-specific and do not apply;
 // P1 and P4 do.
 func MineCoincidence(db *interval.Database, opt Options) ([]pattern.CoincResult, Stats, error) {
+	return MineCoincidenceCtx(context.Background(), db, opt)
+}
+
+// MineCoincidenceCtx is MineCoincidence with cooperative cancellation
+// and resource budgets; see MineTemporalCtx for the contract.
+func MineCoincidenceCtx(ctx context.Context, db *interval.Database, opt Options) ([]pattern.CoincResult, Stats, error) {
 	start := time.Now()
 	if err := opt.validate(); err != nil {
 		return nil, Stats{}, err
@@ -30,6 +37,7 @@ func MineCoincidence(db *interval.Database, opt Options) ([]pattern.CoincResult,
 		return nil, Stats{}, err
 	}
 
+	ctl := newRunControl(ctx, opt, start)
 	stats := Stats{Sequences: db.Len(), MinCount: minCount}
 	if !opt.DisableGlobalPruning {
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount) // P1
@@ -37,15 +45,24 @@ func MineCoincidence(db *interval.Database, opt Options) ([]pattern.CoincResult,
 
 	var results []pattern.CoincResult
 	if opt.Parallel > 1 {
-		results = mineCoincParallel(enc, opt, minCount, &stats)
+		results = mineCoincParallel(enc, opt, minCount, &stats, ctl)
 	} else {
-		m := newCoincMiner(enc, opt, minCount)
+		m := newCoincMiner(enc, opt, minCount, ctl)
 		m.mine(initialCoincProjection(enc))
 		stats.add(m.stats)
 		results = m.results
 	}
 
+	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
+	if err != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, err
+	}
+
 	pattern.SortCoincResults(results)
+	if opt.MaxPatterns > 0 && len(results) > opt.MaxPatterns {
+		results = results[:opt.MaxPatterns]
+	}
 	stats.Elapsed = time.Since(start)
 	return results, stats, nil
 }
@@ -82,16 +99,22 @@ type coincMiner struct {
 	stampS, stampI     []int64
 	tok                int64
 
+	// ctl is the run-wide cancellation/budget state; ops counts local
+	// work units between polls.
+	ctl *runControl
+	ops int64
+
 	// topk, when non-nil, raises minCount dynamically (top-k mining).
 	topk *topKState
 }
 
-func newCoincMiner(db *seqdb.CoincDB, opt Options, minCount int) *coincMiner {
+func newCoincMiner(db *seqdb.CoincDB, opt Options, minCount int, ctl *runControl) *coincMiner {
 	n := db.Table.Len()
 	return &coincMiner{
 		db:       db,
 		opt:      opt,
 		minCount: minCount,
+		ctl:      ctl,
 		countsS:  make([]int32, n),
 		countsI:  make([]int32, n),
 		stampS:   make([]int64, n),
@@ -99,7 +122,20 @@ func newCoincMiner(db *seqdb.CoincDB, opt Options, minCount int) *coincMiner {
 	}
 }
 
+// tick counts one unit of search work, polls the run control every
+// pollInterval units, and reports whether the search must stop.
+func (m *coincMiner) tick() bool {
+	m.ops++
+	if m.ops&(pollInterval-1) == 0 {
+		m.ctl.poll()
+	}
+	return m.ctl.stop.Load()
+}
+
 func (m *coincMiner) mine(proj []coincProjEntry) {
+	if m.tick() {
+		return
+	}
 	m.stats.Nodes++
 	if len(m.elems) > 0 {
 		m.emit(proj)
@@ -118,6 +154,9 @@ func (m *coincMiner) mine(proj []coincProjEntry) {
 
 	cands := m.countCandidates(proj, canS, canI)
 	for _, c := range cands {
+		if m.ctl.stop.Load() {
+			return
+		}
 		m.extend(proj, c)
 	}
 }
@@ -133,6 +172,9 @@ func (m *coincMiner) countCandidates(proj []coincProjEntry, canS, canI bool) []c
 		maxItem = lastElem[len(lastElem)-1]
 	}
 	for i := range proj {
+		if m.tick() {
+			break // aborting: mine() rechecks before any recursion
+		}
 		pe := &proj[i]
 		m.stats.CandidateScans++
 		m.tok++
@@ -256,6 +298,9 @@ func (m *coincMiner) project(proj []coincProjEntry, c candidate) []coincProjEntr
 	}
 	out := make([]coincProjEntry, 0, int(c.count))
 	for i := range proj {
+		if m.tick() {
+			break // aborting: the recursion on the partial projection is cut at entry
+		}
 		pe := &proj[i]
 		seq := &m.db.Seqs[pe.seq]
 		if c.isI {
@@ -323,14 +368,15 @@ func (m *coincMiner) emit(proj []coincProjEntry) {
 		Support: len(proj),
 	}
 	m.results = append(m.results, res)
+	m.ctl.noteEmit()
 	if m.topk != nil {
 		m.minCount = m.topk.observe(res.Pattern.Key(), res.Support, m.minCount)
 	}
 }
 
 // mineCoincParallel fans first-level frequent symbols out over workers.
-func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stats) []pattern.CoincResult {
-	root := newCoincMiner(db, opt, minCount)
+func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stats, ctl *runControl) []pattern.CoincResult {
+	root := newCoincMiner(db, opt, minCount, ctl)
 	proj := initialCoincProjection(db)
 	root.stats.Nodes++
 	cands := root.countCandidates(proj, true, false)
@@ -348,7 +394,7 @@ func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stat
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			m := newCoincMiner(db, opt, minCount)
+			m := newCoincMiner(db, opt, minCount, ctl)
 			for j := range jobs {
 				m.results = nil
 				m.extend(proj, j.c)

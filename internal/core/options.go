@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"tpminer/internal/interval"
 )
@@ -70,6 +71,19 @@ type Options struct {
 	// pattern.Temporal.Normalize). Raw results are what the search
 	// enumerates and are used by the equivalence tests.
 	KeepOccurrences bool
+
+	// MaxPatterns caps the number of patterns emitted by the search; the
+	// run stops early and Stats.Truncated reports the cut. Temporal
+	// results are normalized after mining, so the returned slice may be
+	// smaller than the cap (never larger). 0 means unlimited.
+	MaxPatterns int
+
+	// TimeBudget is a soft wall-clock budget for the search. When it
+	// runs out the miner stops and returns the patterns found so far
+	// with Stats.Truncated set — no error. For a hard deadline that
+	// aborts with context.DeadlineExceeded instead, use the Ctx mining
+	// variants with a deadline context. 0 means unlimited.
+	TimeBudget time.Duration
 
 	// Pruning ablation switches. All prunings are enabled by default;
 	// disabling any of them changes performance but never results.
@@ -129,6 +143,12 @@ func (o Options) validate() error {
 	}
 	if o.Parallel < 0 {
 		return fmt.Errorf("core: negative Parallel %d", o.Parallel)
+	}
+	if o.MaxPatterns < 0 {
+		return fmt.Errorf("core: negative MaxPatterns %d", o.MaxPatterns)
+	}
+	if o.TimeBudget < 0 {
+		return fmt.Errorf("core: negative TimeBudget %v", o.TimeBudget)
 	}
 	return nil
 }

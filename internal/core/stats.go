@@ -24,6 +24,13 @@ type Stats struct {
 	PostfixPruned  int64
 	SizePruned     int64
 	Elapsed        time.Duration
+
+	// Truncated reports that the search stopped before exhausting the
+	// search space; TruncatedBy says why (TruncatedMaxPatterns or
+	// TruncatedTimeBudget). Context cancellation is reported as an error
+	// by the mining call instead, never as a truncation.
+	Truncated   bool
+	TruncatedBy string
 }
 
 // add accumulates worker-local stats into s (used by the parallel miner).

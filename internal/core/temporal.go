@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -16,6 +17,16 @@ import (
 // are normalized and sorted unless Options.KeepOccurrences is set, in
 // which case the raw occurrence-labelled pattern set is returned.
 func MineTemporal(db *interval.Database, opt Options) ([]pattern.TemporalResult, Stats, error) {
+	return MineTemporalCtx(context.Background(), db, opt)
+}
+
+// MineTemporalCtx is MineTemporal with cooperative cancellation: the
+// search polls ctx every pollInterval units of work and aborts with
+// ctx.Err() (and nil results) when it is cancelled or its deadline
+// passes. Budget stops (Options.MaxPatterns, Options.TimeBudget) are not
+// errors — they return the patterns found so far with Stats.Truncated
+// set.
+func MineTemporalCtx(ctx context.Context, db *interval.Database, opt Options) ([]pattern.TemporalResult, Stats, error) {
 	start := time.Now()
 	if err := opt.validate(); err != nil {
 		return nil, Stats{}, err
@@ -29,6 +40,7 @@ func MineTemporal(db *interval.Database, opt Options) ([]pattern.TemporalResult,
 		return nil, Stats{}, err
 	}
 
+	ctl := newRunControl(ctx, opt, start)
 	stats := Stats{Sequences: db.Len(), MinCount: minCount}
 	if !opt.DisableGlobalPruning {
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount) // P1
@@ -36,18 +48,27 @@ func MineTemporal(db *interval.Database, opt Options) ([]pattern.TemporalResult,
 
 	var results []pattern.TemporalResult
 	if opt.Parallel > 1 {
-		results = mineTemporalParallel(enc, opt, minCount, &stats)
+		results = mineTemporalParallel(enc, opt, minCount, &stats, ctl)
 	} else {
-		m := newTemporalMiner(enc, opt, minCount)
+		m := newTemporalMiner(enc, opt, minCount, ctl)
 		m.mine(initialTemporalProjection(enc))
 		stats.add(m.stats)
 		results = m.results
+	}
+
+	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
+	if err != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, err
 	}
 
 	if !opt.KeepOccurrences {
 		results = pattern.NormalizeTemporalResults(results)
 	} else {
 		pattern.SortTemporalResults(results)
+	}
+	if opt.MaxPatterns > 0 && len(results) > opt.MaxPatterns {
+		results = results[:opt.MaxPatterns]
 	}
 	stats.Elapsed = time.Since(start)
 	return results, stats, nil
@@ -79,6 +100,11 @@ type temporalMiner struct {
 	stats    Stats
 	results  []pattern.TemporalResult
 
+	// ctl is the run-wide cancellation/budget state; ops counts local
+	// work units between polls.
+	ctl *runControl
+	ops int64
+
 	// Current prefix: elements of item ids, the set of open interval
 	// starts, and the number of interval instances opened so far.
 	elems      [][]seqdb.Item
@@ -93,16 +119,29 @@ type temporalMiner struct {
 	topk *topKState
 }
 
-func newTemporalMiner(db *seqdb.EndpointDB, opt Options, minCount int) *temporalMiner {
+func newTemporalMiner(db *seqdb.EndpointDB, opt Options, minCount int, ctl *runControl) *temporalMiner {
 	n := db.Table.Len()
 	return &temporalMiner{
 		db:       db,
 		opt:      opt,
 		minCount: minCount,
+		ctl:      ctl,
 		open:     make(map[seqdb.Item]struct{}),
 		countsS:  make([]int32, n),
 		countsI:  make([]int32, n),
 	}
+}
+
+// tick counts one unit of search work, polls the run control every
+// pollInterval units, and reports whether the search must stop. It sits
+// on the hot path: between polls it costs one increment and one relaxed
+// atomic load.
+func (m *temporalMiner) tick() bool {
+	m.ops++
+	if m.ops&(pollInterval-1) == 0 {
+		m.ctl.poll()
+	}
+	return m.ctl.stop.Load()
 }
 
 // candidate is one frequent extension discovered at a node.
@@ -115,6 +154,9 @@ type candidate struct {
 // mine explores the search tree rooted at the current prefix, whose
 // projected database is proj.
 func (m *temporalMiner) mine(proj []projEntry) {
+	if m.tick() {
+		return
+	}
 	m.stats.Nodes++
 	if len(m.elems) > 0 && len(m.open) == 0 && len(proj) >= m.minCount {
 		m.emit(proj)
@@ -134,6 +176,9 @@ func (m *temporalMiner) mine(proj []projEntry) {
 
 	cands := m.countCandidates(proj, canS, canI, canStart)
 	for _, c := range cands {
+		if m.ctl.stop.Load() {
+			return
+		}
 		m.extend(proj, c)
 	}
 	// Return scratch: countCandidates already reset the touched counters.
@@ -145,6 +190,9 @@ func (m *temporalMiner) mine(proj []projEntry) {
 func (m *temporalMiner) countCandidates(proj []projEntry, canS, canI, canStart bool) []candidate {
 	pairPruning := !m.opt.DisablePairPruning
 	for i := range proj {
+		if m.tick() {
+			break // aborting: mine() rechecks before any recursion
+		}
 		pe := &proj[i]
 		m.stats.CandidateScans++
 		seq := &m.db.Seqs[pe.seq]
@@ -277,6 +325,9 @@ func (m *temporalMiner) project(proj []projEntry, c candidate) []projEntry {
 	postfixPruning := !m.opt.DisablePostfixPruning
 	out := make([]projEntry, 0, int(c.count))
 	for i := range proj {
+		if m.tick() {
+			break // aborting: the recursion on the partial projection is cut at entry
+		}
 		pe := &proj[i]
 		loc, ok := m.db.Pos[pe.seq][c.item]
 		if !ok {
@@ -339,6 +390,7 @@ func (m *temporalMiner) emit(proj []projEntry) {
 		Support: len(proj),
 	}
 	m.results = append(m.results, res)
+	m.ctl.noteEmit()
 	if m.topk != nil {
 		m.minCount = m.topk.observe(m.topk.key(res.Pattern), res.Support, m.minCount)
 	}
@@ -347,8 +399,8 @@ func (m *temporalMiner) emit(proj []projEntry) {
 // mineTemporalParallel fans the first-level frequent items out over
 // Options.Parallel workers, each running an independent serial miner on
 // its subtree. Results and stats are merged deterministically.
-func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats) []pattern.TemporalResult {
-	root := newTemporalMiner(db, opt, minCount)
+func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats, ctl *runControl) []pattern.TemporalResult {
+	root := newTemporalMiner(db, opt, minCount, ctl)
 	proj := initialTemporalProjection(db)
 	root.stats.Nodes++ // the shared root node
 	canStart := true
@@ -367,7 +419,7 @@ func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			m := newTemporalMiner(db, opt, minCount)
+			m := newTemporalMiner(db, opt, minCount, ctl)
 			for j := range jobs {
 				m.results = nil
 				m.extend(proj, j.c)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,12 @@ import (
 // Distinctness is counted on normalized patterns unless
 // opt.KeepOccurrences is set.
 func MineTemporalTopK(db *interval.Database, k int, opt Options) ([]pattern.TemporalResult, Stats, error) {
+	return MineTemporalTopKCtx(context.Background(), db, k, opt)
+}
+
+// MineTemporalTopKCtx is MineTemporalTopK with cooperative cancellation
+// and resource budgets; see MineTemporalCtx for the contract.
+func MineTemporalTopKCtx(ctx context.Context, db *interval.Database, k int, opt Options) ([]pattern.TemporalResult, Stats, error) {
 	start := time.Now()
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
@@ -43,15 +50,22 @@ func MineTemporalTopK(db *interval.Database, k int, opt Options) ([]pattern.Temp
 		return nil, Stats{}, err
 	}
 
+	ctl := newRunControl(ctx, opt, start)
 	stats := Stats{Sequences: db.Len(), MinCount: minCount}
 	if !opt.DisableGlobalPruning {
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
 	}
 
-	m := newTemporalMiner(enc, opt, minCount)
+	m := newTemporalMiner(enc, opt, minCount, ctl)
 	m.topk = newTopKState(k, !opt.KeepOccurrences)
 	m.mine(initialTemporalProjection(enc))
 	stats.add(m.stats)
+
+	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
+	if err != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, err
+	}
 
 	results := m.results
 	if !opt.KeepOccurrences {
@@ -68,6 +82,13 @@ func MineTemporalTopK(db *interval.Database, k int, opt Options) ([]pattern.Temp
 
 // MineCoincidenceTopK returns the k best-supported coincidence patterns.
 func MineCoincidenceTopK(db *interval.Database, k int, opt Options) ([]pattern.CoincResult, Stats, error) {
+	return MineCoincidenceTopKCtx(context.Background(), db, k, opt)
+}
+
+// MineCoincidenceTopKCtx is MineCoincidenceTopK with cooperative
+// cancellation and resource budgets; see MineTemporalCtx for the
+// contract.
+func MineCoincidenceTopKCtx(ctx context.Context, db *interval.Database, k int, opt Options) ([]pattern.CoincResult, Stats, error) {
 	start := time.Now()
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: top-k requires k >= 1, got %d", k)
@@ -87,15 +108,22 @@ func MineCoincidenceTopK(db *interval.Database, k int, opt Options) ([]pattern.C
 		return nil, Stats{}, err
 	}
 
+	ctl := newRunControl(ctx, opt, start)
 	stats := Stats{Sequences: db.Len(), MinCount: minCount}
 	if !opt.DisableGlobalPruning {
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
 	}
 
-	m := newCoincMiner(enc, opt, minCount)
+	m := newCoincMiner(enc, opt, minCount, ctl)
 	m.topk = newTopKState(k, false)
 	m.mine(initialCoincProjection(enc))
 	stats.add(m.stats)
+
+	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
+	if err != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, err
+	}
 
 	results := m.results
 	pattern.SortCoincResults(results)

@@ -31,6 +31,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 
 	"tpminer/internal/core"
@@ -90,6 +91,11 @@ func NewMiner(opt core.Options, bufferRatio float64) (*Miner, error) {
 	if opt.Parallel != 0 {
 		return nil, fmt.Errorf("incremental: Parallel is not supported")
 	}
+	if opt.MaxPatterns != 0 || opt.TimeBudget != 0 {
+		// A truncated re-mine would leave semi-frequent patterns out of
+		// the buffer and silently break the exactness guarantee.
+		return nil, fmt.Errorf("incremental: MaxPatterns/TimeBudget are not supported")
+	}
 	if opt.MinCount == 0 && (opt.MinSupport <= 0 || opt.MinSupport > 1) {
 		return nil, fmt.Errorf("incremental: MinSupport %v outside (0,1] and no MinCount given", opt.MinSupport)
 	}
@@ -127,6 +133,15 @@ func (m *Miner) bufferMin(minCount int) int {
 // to date. It reports whether the append was absorbed incrementally
 // (false means a full re-mine ran).
 func (m *Miner) Append(seqs ...interval.Sequence) (incremental bool, err error) {
+	return m.AppendCtx(context.Background(), seqs...)
+}
+
+// AppendCtx is Append with cooperative cancellation of the full re-mine
+// an append may trigger. When the context is cancelled mid-re-mine the
+// append is rolled back — the database and pattern state are exactly as
+// before the call — so the miner stays usable and the append can be
+// retried.
+func (m *Miner) AppendCtx(ctx context.Context, seqs ...interval.Sequence) (incremental bool, err error) {
 	// Validate and index the increment before mutating any state.
 	newIdx := make([]pattern.Index, len(seqs))
 	for i := range seqs {
@@ -139,23 +154,33 @@ func (m *Miner) Append(seqs ...interval.Sequence) (incremental bool, err error) 
 	m.stats.Appends++
 
 	first := m.db.Len() == 0
+	prevLen := m.db.Len()
+	prevSince := m.appendedSince
 	m.db.Sequences = append(m.db.Sequences, seqs...)
 	n := m.db.Len()
 	newMinCount := m.minCount(n)
 	m.stats.Sequences = n
 	m.stats.MinCount = newMinCount
 
-	if first {
-		return false, m.fullRemine(newMinCount)
-	}
-
-	// Tentatively absorb the increment.
+	// Tentatively absorb the increment. Exactness condition: an absent
+	// pattern's support is at most B-1+k; it must stay below the
+	// current threshold.
 	m.appendedSince += len(seqs)
-
-	// Exactness condition: an absent pattern's support is at most
-	// B-1+k; it must stay below the current threshold.
-	if m.bufMinAtRemine-1+m.appendedSince >= newMinCount {
-		return false, m.fullRemine(newMinCount)
+	if first || m.bufMinAtRemine-1+m.appendedSince >= newMinCount {
+		if err := m.fullRemine(ctx, newMinCount); err != nil {
+			// Roll back the append so the accumulated database and the
+			// buffer stay mutually consistent.
+			m.db.Sequences = m.db.Sequences[:prevLen]
+			m.appendedSince = prevSince
+			m.stats.Sequences = prevLen
+			if prevLen > 0 {
+				m.stats.MinCount = m.minCount(prevLen)
+			} else {
+				m.stats.MinCount = 0
+			}
+			return false, err
+		}
+		return false, nil
 	}
 
 	for _, e := range m.buffer {
@@ -172,13 +197,13 @@ func (m *Miner) Append(seqs ...interval.Sequence) (incremental bool, err error) 
 
 // fullRemine rebuilds the buffer from scratch for the current database
 // and threshold.
-func (m *Miner) fullRemine(minCount int) error {
+func (m *Miner) fullRemine(ctx context.Context, minCount int) error {
 	bufMin := m.bufferMin(minCount)
 	opt := m.opt
 	opt.KeepOccurrences = true
 	opt.MinSupport = 0
 	opt.MinCount = bufMin
-	rs, _, err := core.MineTemporal(&m.db, opt)
+	rs, _, err := core.MineTemporalCtx(ctx, &m.db, opt)
 	if err != nil {
 		return fmt.Errorf("incremental: full re-mine: %w", err)
 	}

@@ -1,9 +1,12 @@
 package incremental
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"tpminer/internal/core"
 	"tpminer/internal/interval"
@@ -36,6 +39,9 @@ func TestNewMinerValidation(t *testing.T) {
 		{core.Options{}, 0.5},
 		{core.Options{MinSupport: 0.2, KeepOccurrences: true}, 0.5},
 		{core.Options{MinSupport: 0.2, Parallel: 2}, 0.5},
+		// Truncating budgets would break the exactness guarantee.
+		{core.Options{MinSupport: 0.2, MaxPatterns: 10}, 0.5},
+		{core.Options{MinSupport: 0.2, TimeBudget: time.Second}, 0.5},
 	}
 	for i, c := range bad {
 		if _, err := NewMiner(c.opt, c.ratio); err == nil {
@@ -200,6 +206,59 @@ func TestAppendRejectsInvalid(t *testing.T) {
 	}
 	if m.Stats().Appends != 0 {
 		t.Error("failed append counted")
+	}
+}
+
+// TestAppendCtxCancelledRollsBack: a cancelled re-mine must leave the
+// miner exactly as before the append, and the append must be retryable.
+func TestAppendCtxCancelledRollsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	opt := core.Options{MinSupport: 0.3, MaxIntervals: 3}
+	m, err := NewMiner(opt, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []interval.Sequence
+	for i := 0; i < 8; i++ {
+		seqs = append(seqs, randomSeq(rng, i))
+	}
+	if _, err := m.Append(seqs...); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Patterns()
+	beforeLen := m.Database().Len()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	extra := randomSeq(rng, 100)
+	// Force a re-mine on this append by exhausting the slack: with the
+	// database doubled, the exactness condition B-1+k >= minCount holds.
+	var batch []interval.Sequence
+	for i := 0; i < beforeLen; i++ {
+		batch = append(batch, randomSeq(rng, 200+i))
+	}
+	batch = append(batch, extra)
+	if _, err := m.AppendCtx(cancelled, batch...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AppendCtx err = %v, want context.Canceled", err)
+	}
+	if got := m.Database().Len(); got != beforeLen {
+		t.Errorf("rolled-back database has %d sequences, want %d", got, beforeLen)
+	}
+	if !pattern.TemporalResultsEqual(m.Patterns(), before) {
+		t.Error("pattern state changed by a cancelled append")
+	}
+
+	// Retrying the same append must succeed and match from-scratch.
+	if _, err := m.Append(batch...); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := core.MineTemporal(m.Database(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pattern.TemporalResultsEqual(m.Patterns(), want) {
+		t.Fatalf("retried append diverged from scratch mine (%d vs %d patterns)",
+			len(m.Patterns()), len(want))
 	}
 }
 

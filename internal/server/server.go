@@ -16,18 +16,36 @@
 //	                                     patterns with supports
 //	POST   /datasets/{name}/rules        body: RulesRequest; returns
 //	                                     temporal association rules
+//
+// # Operational hardening
+//
+// Every request carries a request ID (client-supplied X-Request-ID or
+// generated), echoed in the response header, error bodies, and logs. A
+// panic anywhere below the middleware becomes a structured 500 instead
+// of a dropped connection. Mining work is bounded three ways: a
+// semaphore caps concurrent mining jobs (excess requests get 429 with
+// Retry-After), every job runs under a context deadline (server ceiling,
+// optionally lowered per request via timeout_ms) and aborts with 504,
+// and requests may trade completeness for latency with time_budget_ms /
+// max_patterns, which return partial results flagged truncated.
+// Oversized bodies are rejected with 413.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tpminer/internal/core"
 	"tpminer/internal/dataio"
@@ -36,29 +54,84 @@ import (
 	"tpminer/internal/rules"
 )
 
-// maxBodyBytes caps uploads and requests (64 MiB).
-const maxBodyBytes = 64 << 20
+// Defaults for Config zero values.
+const (
+	// DefaultMaxBodyBytes caps uploads and requests (64 MiB).
+	DefaultMaxBodyBytes = 64 << 20
+	// DefaultMaxMineDuration is the server-side ceiling on one mining
+	// job.
+	DefaultMaxMineDuration = 60 * time.Second
+)
 
-// Server is the HTTP mining service. Create with New, mount via
-// Handler.
+// Config bounds the server's resource usage. The zero value selects
+// sensible defaults.
+type Config struct {
+	// MaxConcurrentMines caps mining/rules jobs running at once; excess
+	// requests are rejected with 429 Too Many Requests and a
+	// Retry-After header. 0 means GOMAXPROCS.
+	MaxConcurrentMines int
+
+	// MaxMineDuration is the hard server-side deadline for one mining
+	// job. Requests may lower (never raise) it via timeout_ms. A job
+	// that hits the deadline is aborted with 504. 0 means
+	// DefaultMaxMineDuration.
+	MaxMineDuration time.Duration
+
+	// MaxBodyBytes caps request bodies; larger bodies are rejected with
+	// 413. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentMines <= 0 {
+		c.MaxConcurrentMines = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxMineDuration <= 0 {
+		c.MaxMineDuration = DefaultMaxMineDuration
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Server is the HTTP mining service. Create with New or NewWithConfig,
+// mount via Handler.
 type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*interval.Database
 	logger   *log.Logger
+	cfg      Config
+
+	// mineSem bounds concurrent mining jobs; acquisition is
+	// non-blocking so overload turns into fast 429s instead of a queue.
+	mineSem chan struct{}
+	// reqSeq numbers generated request IDs.
+	reqSeq atomic.Uint64
 }
 
-// New creates an empty server. logger may be nil (logging disabled).
+// New creates an empty server with default resource bounds. logger may
+// be nil (logging disabled).
 func New(logger *log.Logger) *Server {
+	return NewWithConfig(logger, Config{})
+}
+
+// NewWithConfig creates an empty server with explicit resource bounds.
+func NewWithConfig(logger *log.Logger, cfg Config) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	cfg = cfg.withDefaults()
 	return &Server{
 		datasets: make(map[string]*interval.Database),
 		logger:   logger,
+		cfg:      cfg,
+		mineSem:  make(chan struct{}, cfg.MaxConcurrentMines),
 	}
 }
 
-// Handler returns the route table.
+// Handler returns the route table wrapped in the request-ID and
+// panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -69,12 +142,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("POST /datasets/{name}/mine", s.handleMine)
 	mux.HandleFunc("POST /datasets/{name}/rules", s.handleRules)
-	return mux
+	return s.middleware(mux)
+}
+
+// ctxKey keys middleware values in the request context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestID returns the request's ID, or "" outside the middleware.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// middleware assigns every request an ID (honoring a client-supplied
+// X-Request-ID) and converts handler panics into structured 500s. The
+// ID is set on the response header before the handler runs, so even
+// error and panic responses carry it.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		defer func() {
+			if p := recover(); p != nil {
+				s.logger.Printf("server: [%s] panic in %s %s: %v\n%s",
+					id, r.Method, r.URL.Path, p, debug.Stack())
+				// If the handler already started the response this
+				// write is a no-op on the status; the log above is the
+				// record either way.
+				s.writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: "internal server error", RequestID: id})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // errorBody is the uniform error envelope.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -85,8 +197,20 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
+// writeError sends the structured error envelope. A body-size overflow
+// (http.MaxBytesError anywhere in the chain) overrides the caller's
+// status with 413 so clients can tell "too large" from "malformed".
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+		err = fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+	}
+	id := requestID(r)
+	if status >= 500 || status == http.StatusTooManyRequests {
+		s.logger.Printf("server: [%s] %s %s -> %d: %v", id, r.Method, r.URL.Path, status, err)
+	}
+	s.writeJSON(w, status, errorBody{Error: err.Error(), RequestID: id})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -127,8 +251,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // readDatasetBody parses an uploaded dataset according to Content-Type:
 // text/csv, application/json, or text/plain (line format; the default).
-func readDatasetBody(r *http.Request) (*interval.Database, error) {
-	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+func (s *Server) readDatasetBody(r *http.Request) (*interval.Database, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
@@ -147,16 +271,16 @@ func readDatasetBody(r *http.Request) (*interval.Database, error) {
 
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	db, err := readDatasetBody(r)
+	db, err := s.readDatasetBody(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	_, existed := s.datasets[name]
 	s.datasets[name] = db
 	s.mu.Unlock()
-	s.logger.Printf("server: put dataset %q (%d sequences)", name, db.Len())
+	s.logger.Printf("server: [%s] put dataset %q (%d sequences)", requestID(r), name, db.Len())
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -166,9 +290,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	add, err := readDatasetBody(r)
+	add, err := s.readDatasetBody(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
@@ -178,7 +302,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, summarize(name, db))
@@ -190,7 +314,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.datasets[name]
 	s.mu.RUnlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, summarize(name, db))
@@ -203,10 +327,53 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.datasets, name)
 	s.mu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// acquireMineSlot claims a slot from the mining semaphore without
+// blocking. On overload it writes the 429 backpressure response and
+// returns false. The caller must invoke the release func when done.
+func (s *Server) acquireMineSlot(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.mineSem <- struct{}{}:
+		return func() { <-s.mineSem }, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusTooManyRequests,
+			fmt.Errorf("all %d mining slots busy; retry later", cap(s.mineSem)))
+		return nil, false
+	}
+}
+
+// mineContext derives the mining context for one job: the request
+// context (cancelled when the client disconnects) bounded by the server
+// ceiling, lowered further by a per-request timeout_ms if given.
+func (s *Server) mineContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.MaxMineDuration
+	if timeoutMillis > 0 {
+		if req := time.Duration(timeoutMillis) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeMineError maps a mining error to a response: context deadline →
+// 504, client gone → nothing to send (logged), anything else → 400.
+func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, r, http.StatusGatewayTimeout,
+			errors.New("mining exceeded its deadline; lower min support, add constraints, or raise timeout_ms"))
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is nobody to respond to.
+		s.logger.Printf("server: [%s] %s %s abandoned by client", requestID(r), r.Method, r.URL.Path)
+	default:
+		s.writeError(w, r, http.StatusBadRequest, err)
+	}
 }
 
 // MineRequest is the body of POST /datasets/{name}/mine.
@@ -224,6 +391,13 @@ type MineRequest struct {
 	MaxGap             int64  `json:"max_gap,omitempty"`
 	TopK               int    `json:"top_k,omitempty"`
 	Filter             string `json:"filter,omitempty"` // "", "closed", "maximal"
+	// Resource bounds. TimeoutMillis lowers the server's hard deadline
+	// for this job (it can never raise it); hitting it aborts with 504.
+	// TimeBudgetMillis and MaxPatterns are soft budgets: the miner
+	// stops early and returns what it found, flagged in stats.
+	TimeoutMillis    int64 `json:"timeout_ms,omitempty"`
+	TimeBudgetMillis int64 `json:"time_budget_ms,omitempty"`
+	MaxPatterns      int   `json:"max_patterns,omitempty"`
 }
 
 func (req MineRequest) options() core.Options {
@@ -235,6 +409,8 @@ func (req MineRequest) options() core.Options {
 		MaxItemsPerElement: req.MaxItemsPerElement,
 		MaxSpan:            req.MaxSpan,
 		MaxGap:             req.MaxGap,
+		MaxPatterns:        req.MaxPatterns,
+		TimeBudget:         time.Duration(req.TimeBudgetMillis) * time.Millisecond,
 	}
 }
 
@@ -261,18 +437,22 @@ type MineStats struct {
 	Nodes          int64  `json:"nodes"`
 	CandidateScans int64  `json:"candidate_scans"`
 	ElapsedMillis  string `json:"elapsed"`
+	// Truncated marks a run cut short by a soft budget; TruncatedBy is
+	// "max_patterns" or "time_budget".
+	Truncated   bool   `json:"truncated,omitempty"`
+	TruncatedBy string `json:"truncated_by,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req MineRequest
-	if err := decodeJSONBody(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	db, ok := s.snapshot(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 
@@ -280,12 +460,26 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if ptype == "" {
 		ptype = "temporal"
 	}
+	switch ptype {
+	case "temporal", "coincidence":
+	default:
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown type %q", ptype))
+		return
+	}
 	switch req.Filter {
 	case "", "closed", "maximal":
 	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown filter %q", req.Filter))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown filter %q", req.Filter))
 		return
 	}
+
+	release, ok := s.acquireMineSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
+	defer cancel()
 
 	resp := MineResponse{Dataset: name, Type: ptype}
 	switch ptype {
@@ -296,19 +490,21 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			err error
 		)
 		if req.TopK > 0 {
-			rs, st, err = core.MineTemporalTopK(db, req.TopK, req.options())
+			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options())
 		} else {
-			rs, st, err = core.MineTemporal(db, req.options())
+			rs, st, err = core.MineTemporalCtx(ctx, db, req.options())
+		}
+		if err == nil {
+			switch req.Filter {
+			case "closed":
+				rs, err = core.FilterClosedCtx(ctx, rs)
+			case "maximal":
+				rs, err = core.FilterMaximalCtx(ctx, rs)
+			}
 		}
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeMineError(w, r, err)
 			return
-		}
-		switch req.Filter {
-		case "closed":
-			rs = core.FilterClosed(rs)
-		case "maximal":
-			rs = core.FilterMaximal(rs)
 		}
 		for _, pr := range rs {
 			resp.Patterns = append(resp.Patterns, MinedPattern{
@@ -325,19 +521,21 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			err error
 		)
 		if req.TopK > 0 {
-			rs, st, err = core.MineCoincidenceTopK(db, req.TopK, req.options())
+			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options())
 		} else {
-			rs, st, err = core.MineCoincidence(db, req.options())
+			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.options())
+		}
+		if err == nil {
+			switch req.Filter {
+			case "closed":
+				rs, err = core.FilterClosedCoincCtx(ctx, rs)
+			case "maximal":
+				rs, err = core.FilterMaximalCoincCtx(ctx, rs)
+			}
 		}
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeMineError(w, r, err)
 			return
-		}
-		switch req.Filter {
-		case "closed":
-			rs = core.FilterClosedCoinc(rs)
-		case "maximal":
-			rs = core.FilterMaximalCoinc(rs)
 		}
 		for _, pr := range rs {
 			resp.Patterns = append(resp.Patterns, MinedPattern{
@@ -346,9 +544,6 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.Stats = wireStats(st)
-	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown type %q", ptype))
-		return
 	}
 	resp.Count = len(resp.Patterns)
 	s.writeJSON(w, http.StatusOK, resp)
@@ -362,6 +557,9 @@ type RulesRequest struct {
 	MaxIntervals  int     `json:"max_intervals,omitempty"`
 	MinConfidence float64 `json:"min_confidence,omitempty"`
 	MinLift       float64 `json:"min_lift,omitempty"`
+	// TimeoutMillis lowers the server's hard mining deadline for this
+	// job; see MineRequest.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // WireRule is one derived rule on the wire.
@@ -377,23 +575,32 @@ type WireRule struct {
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req RulesRequest
-	if err := decodeJSONBody(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	db, ok := s.snapshot(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
+
+	release, ok := s.acquireMineSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
+	defer cancel()
+
 	opt := core.Options{
 		MinSupport:   req.MinSupport,
 		MinCount:     req.MinCount,
 		MaxIntervals: req.MaxIntervals,
 	}
-	rs, _, err := core.MineTemporal(db, opt)
+	rs, _, err := core.MineTemporalCtx(ctx, db, opt)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeMineError(w, r, err)
 		return
 	}
 	derived, err := rules.Derive(rs, db, rules.Options{
@@ -401,7 +608,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		MinLift:       req.MinLift,
 	})
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	out := make([]WireRule, len(derived))
@@ -432,8 +639,8 @@ func (s *Server) snapshot(name string) (*interval.Database, bool) {
 
 // decodeJSONBody parses a JSON request body, tolerating an empty body
 // (all-default request).
-func decodeJSONBody(r *http.Request, v any) error {
-	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+func (s *Server) decodeJSONBody(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -452,5 +659,7 @@ func wireStats(st core.Stats) MineStats {
 		Nodes:          st.Nodes,
 		CandidateScans: st.CandidateScans,
 		ElapsedMillis:  st.Elapsed.String(),
+		Truncated:      st.Truncated,
+		TruncatedBy:    st.TruncatedBy,
 	}
 }

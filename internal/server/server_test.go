@@ -20,7 +20,9 @@ s3,B,0,2
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(nil).Handler())
+	// A roomy semaphore: these tests exercise functional behavior, not
+	// backpressure (hardening_test.go covers 429s deterministically).
+	ts := httptest.NewServer(NewWithConfig(nil, Config{MaxConcurrentMines: 32}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

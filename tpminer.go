@@ -36,6 +36,8 @@
 package tpminer
 
 import (
+	"context"
+
 	"tpminer/internal/core"
 	"tpminer/internal/dataio"
 	"tpminer/internal/endpoint"
@@ -115,6 +117,21 @@ func MineTemporalPatterns(db *Database, opt Options) ([]TemporalResult, Stats, e
 // the database with P-TPMiner.
 func MineCoincidencePatterns(db *Database, opt Options) ([]CoincidenceResult, Stats, error) {
 	return core.MineCoincidence(db, opt)
+}
+
+// MineTemporalPatternsCtx is MineTemporalPatterns with cooperative
+// cancellation: the search polls ctx and aborts promptly with ctx.Err()
+// when it is cancelled or its deadline passes. Budget stops
+// (Options.MaxPatterns, Options.TimeBudget) are not errors — they return
+// the patterns found so far with Stats.Truncated set.
+func MineTemporalPatternsCtx(ctx context.Context, db *Database, opt Options) ([]TemporalResult, Stats, error) {
+	return core.MineTemporalCtx(ctx, db, opt)
+}
+
+// MineCoincidencePatternsCtx is the coincidence analogue of
+// MineTemporalPatternsCtx.
+func MineCoincidencePatternsCtx(ctx context.Context, db *Database, opt Options) ([]CoincidenceResult, Stats, error) {
+	return core.MineCoincidenceCtx(ctx, db, opt)
 }
 
 // MineTopKTemporalPatterns returns the k best-supported temporal
