@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet test race verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,11 @@ race:
 # The full pre-merge gate.
 verify: build vet race
 
+# Runs the Fig-1 workload and core micro-benchmarks and writes
+# BENCH_core.json with speedups against bench/baseline.json.
 bench:
+	$(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# The old kitchen-sink benchmark run, kept for exploratory use.
+bench-all:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,253 @@
+// Command benchjson runs the repository's core benchmarks and writes a
+// machine-readable summary (BENCH_core.json by default).
+//
+//	go run ./cmd/benchjson -o BENCH_core.json -benchtime 20x
+//
+// Two benchmark groups are run:
+//
+//   - the Fig-1 paper-workload benchmarks at the repo root (Quick scale),
+//     compared against the committed pre-refactor baseline in
+//     bench/baseline.json to report per-point speedups;
+//   - the internal/core micro-benchmarks (projection, counting,
+//     scheduling), whose ParallelScheduling sub-benchmarks yield the
+//     work-stealing-vs-serial speedup on the current machine.
+//
+// The tool shells out to "go test -bench" and parses the standard
+// benchmark output; it needs no dependencies beyond the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line, joined with its baseline entry
+// when one exists.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupVsBaseline   float64 `json:"speedup_vs_baseline,omitempty"`
+	AllocsRatio         float64 `json:"allocs_ratio,omitempty"`
+}
+
+type baselineFile struct {
+	Commit     string `json:"commit"`
+	Note       string `json:"note"`
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+type report struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Benchtime  string `json:"benchtime"`
+
+	BaselineCommit string `json:"baseline_commit,omitempty"`
+	BaselineNote   string `json:"baseline_note,omitempty"`
+
+	// Workload holds the Fig-1 paper benchmarks with speedups against
+	// the committed baseline.
+	Workload []result `json:"workload"`
+	// Micro holds the internal/core hot-path micro-benchmarks.
+	Micro []result `json:"micro"`
+
+	// SchedulingSpeedupVsSerial is ParallelScheduling/Serial ns/op
+	// divided by ParallelScheduling/WorkStealing ns/op on this machine
+	// (≈1.0 on a single-core runner; the equivalence tests still
+	// exercise the scheduler there).
+	SchedulingSpeedupVsSerial float64 `json:"scheduling_speedup_vs_serial,omitempty"`
+
+	// MinWorkloadSpeedup is the smallest speedup_vs_baseline across the
+	// workload benchmarks — the headline "the serial hot path got at
+	// least this much faster" number. MinFig1aSpeedup restricts that to
+	// the Fig-1a temporal-mining points.
+	MinWorkloadSpeedup float64 `json:"min_workload_speedup,omitempty"`
+	MinFig1aSpeedup    float64 `json:"min_fig1a_speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_core.json", "output file")
+	baselinePath := fs.String("baseline", "bench/baseline.json", "baseline numbers to compute speedups against")
+	benchtime := fs.String("benchtime", "20x", "benchtime for the workload benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var base baselineFile
+	if raw, err := os.ReadFile(*baselinePath); err == nil {
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse %s: %w", *baselinePath, err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); speedups omitted\n", err)
+	}
+
+	rep := report{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Benchtime:      *benchtime,
+		BaselineCommit: base.Commit,
+		BaselineNote:   base.Note,
+	}
+
+	workload, err := runBench(".", "Fig1aRuntimeVsMinsup/P-TPMiner|Fig1bRuntimeVsMinsupCoincidence/P-TPMiner", *benchtime)
+	if err != nil {
+		return err
+	}
+	for i := range workload {
+		if b, ok := base.Benchmarks[workload[i].Name]; ok && workload[i].NsPerOp > 0 {
+			workload[i].BaselineNsPerOp = b.NsPerOp
+			workload[i].BaselineAllocsPerOp = b.AllocsPerOp
+			workload[i].SpeedupVsBaseline = round2(b.NsPerOp / workload[i].NsPerOp)
+			if workload[i].AllocsPerOp > 0 {
+				workload[i].AllocsRatio = round2(b.AllocsPerOp / workload[i].AllocsPerOp)
+			}
+		}
+	}
+	rep.Workload = workload
+
+	micro, err := runBench("./internal/core/", "ProjectTemporal|CountTemporal|ProjectCoinc|ParallelScheduling", "")
+	if err != nil {
+		return err
+	}
+	rep.Micro = micro
+
+	var wsNs, serialNs float64
+	for _, r := range micro {
+		switch r.Name {
+		case "ParallelScheduling/WorkStealing":
+			wsNs = r.NsPerOp
+		case "ParallelScheduling/Serial":
+			serialNs = r.NsPerOp
+		}
+	}
+	if wsNs > 0 && serialNs > 0 {
+		rep.SchedulingSpeedupVsSerial = round2(serialNs / wsNs)
+	}
+	for _, r := range rep.Workload {
+		if r.SpeedupVsBaseline <= 0 {
+			continue
+		}
+		if rep.MinWorkloadSpeedup == 0 || r.SpeedupVsBaseline < rep.MinWorkloadSpeedup {
+			rep.MinWorkloadSpeedup = r.SpeedupVsBaseline
+		}
+		if strings.HasPrefix(r.Name, "Fig1a") &&
+			(rep.MinFig1aSpeedup == 0 || r.SpeedupVsBaseline < rep.MinFig1aSpeedup) {
+			rep.MinFig1aSpeedup = r.SpeedupVsBaseline
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d workload, %d micro benchmarks", *out, len(rep.Workload), len(rep.Micro))
+	if rep.MinWorkloadSpeedup > 0 {
+		fmt.Printf("; min speedup vs %s: %.2fx overall, %.2fx on Fig-1a",
+			rep.BaselineCommit, rep.MinWorkloadSpeedup, rep.MinFig1aSpeedup)
+	}
+	fmt.Println(")")
+	return nil
+}
+
+// runBench executes "go test -bench" in pkg and parses its output.
+// benchtime may be empty to use the default.
+func runBench(pkg, pattern, benchtime string) ([]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outRaw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	var rs []result
+	for _, line := range strings.Split(string(outRaw), "\n") {
+		if r, ok := parseBenchLine(line); ok {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q in %s", pattern, pkg)
+	}
+	return rs, nil
+}
+
+// parseBenchLine parses one standard benchmark output line:
+//
+//	BenchmarkName/sub-8   100   12345 ns/op   67 B/op   8 allocs/op
+//
+// The trailing "-8" GOMAXPROCS suffix is stripped from the name. Extra
+// custom metrics (e.g. "39.00 patterns") are ignored.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

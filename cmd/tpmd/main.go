@@ -10,10 +10,15 @@
 //
 // The server is resource-bounded: -max-mines caps concurrent mining
 // jobs (excess requests get 429), -mine-timeout is the hard per-job
-// deadline (requests may lower it via timeout_ms), and -max-body caps
-// request bodies. On SIGINT or SIGTERM the server stops accepting
-// connections and drains in-flight requests — mining jobs finish within
-// their deadline — for up to -grace before exiting.
+// deadline (requests may lower it via timeout_ms), -max-parallel caps
+// the per-request worker count (requests ask via "parallel"), and
+// -max-body caps request bodies. On SIGINT or SIGTERM the server stops
+// accepting connections and drains in-flight requests — mining jobs
+// finish within their deadline — for up to -grace before exiting.
+//
+// For live profiling, -pprof-addr starts a second listener serving
+// net/http/pprof (e.g. -pprof-addr localhost:6060). It is off by
+// default and should never be exposed publicly.
 //
 // Example session:
 //
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served only by -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,7 +58,9 @@ func run(args []string) error {
 	maxMines := fs.Int("max-mines", 0, "max concurrent mining jobs (0 = GOMAXPROCS); excess requests get 429")
 	mineTimeout := fs.Duration("mine-timeout", server.DefaultMaxMineDuration, "hard per-job mining deadline")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
+	maxParallel := fs.Int("max-parallel", 0, "ceiling on per-request mining parallelism (0 = GOMAXPROCS)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +70,7 @@ func run(args []string) error {
 		MaxConcurrentMines: *maxMines,
 		MaxMineDuration:    *mineTimeout,
 		MaxBodyBytes:       *maxBody,
+		MaxParallel:        *maxParallel,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -75,6 +84,24 @@ func run(args []string) error {
 		errc <- srv.ListenAndServe()
 	}()
 
+	// The pprof listener is separate from the API listener so the
+	// profiling surface is never reachable through the public address.
+	// It dies with the process; no graceful drain needed.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	// SIGTERM is what container orchestrators send; treat it exactly
 	// like Ctrl-C so both get a graceful drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +113,9 @@ func run(args []string) error {
 		logger.Printf("signal received, draining in-flight requests (up to %s)", *grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"tpminer/internal/baseline"
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxElems  = fs.Int("max-elements", 0, "max elements per pattern (0 = unlimited)")
 		maxSpan   = fs.Int64("max-span", 0, "max embedding time span, temporal only (0 = unlimited)")
 		maxGap    = fs.Int64("max-gap", 0, "max time gap between consecutive elements, temporal only (0 = unlimited)")
-		parallel  = fs.Int("parallel", 0, "worker goroutines for ptpminer (0 = serial)")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for ptpminer (default: all CPUs; 1 = serial)")
 		timeout   = fs.Duration("timeout", 0, "abort mining after this duration, ptpminer only (0 = unlimited)")
 		maxPats   = fs.Int("max-patterns", 0, "stop after emitting this many patterns, ptpminer only (0 = unlimited)")
 		topk      = fs.Int("topk", 0, "mine only the k best-supported patterns (threshold flags become a floor)")

@@ -80,22 +80,29 @@ func Transform(s interval.Sequence) ([]Coincidence, error) {
 	}
 
 	// Collect the distinct cut times: every start and every end.
-	cutSet := make(map[interval.Time]struct{}, 2*len(s.Intervals))
+	// Sort-and-dedup beats a hash set here — Transform runs per sequence
+	// on every database encode.
+	cuts := make([]interval.Time, 0, 2*len(s.Intervals))
 	for _, iv := range s.Intervals {
-		cutSet[iv.Start] = struct{}{}
-		cutSet[iv.End] = struct{}{}
-	}
-	cuts := make([]interval.Time, 0, len(cutSet))
-	for t := range cutSet {
-		cuts = append(cuts, t)
+		cuts = append(cuts, iv.Start, iv.End)
 	}
 	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	w := 0
+	for i, t := range cuts {
+		if i == 0 || t != cuts[i-1] {
+			cuts[w] = t
+			w++
+		}
+	}
+	cuts = cuts[:w]
 
 	// For each elementary segment [cuts[i], cuts[i+1]] determine the
 	// alive symbol set. An interval [a,b] is alive on segment [x,y]
 	// (x < y) iff a <= x && y <= b. Point events are handled as
 	// degenerate segments at their instant.
 	var out []Coincidence
+	// appendSeg copies syms on keep, so callers may pass a reused
+	// scratch buffer; merged segments (equal adjacent sets) cost nothing.
 	appendSeg := func(start, end interval.Time, syms []string) {
 		if len(syms) == 0 {
 			return
@@ -104,7 +111,9 @@ func Transform(s interval.Sequence) ([]Coincidence, error) {
 			out[n-1].End = end
 			return
 		}
-		out = append(out, Coincidence{Start: start, End: end, Symbols: syms})
+		cp := make([]string, len(syms))
+		copy(cp, syms)
+		out = append(out, Coincidence{Start: start, End: end, Symbols: cp})
 	}
 
 	// Degenerate segments for point events and cut instants: a symbol is
@@ -114,10 +123,11 @@ func Transform(s interval.Sequence) ([]Coincidence, error) {
 	// carry point events not covered by a proper segment on either side
 	// with the same alive set. In practice the proper segments capture
 	// everything except isolated point events, which we handle below.
+	var scratch []string
 	for i := 0; i+1 < len(cuts); i++ {
 		x, y := cuts[i], cuts[i+1]
-		syms := aliveOn(s.Intervals, x, y)
-		appendSeg(x, y, syms)
+		scratch = aliveOn(s.Intervals, x, y, scratch)
+		appendSeg(x, y, scratch)
 	}
 
 	// Point events: proper segments cannot carry an interval [t,t], so
@@ -145,35 +155,42 @@ func Transform(s interval.Sequence) ([]Coincidence, error) {
 }
 
 // aliveOn returns the sorted distinct symbols alive on the whole proper
-// segment [x,y], x < y.
-func aliveOn(ivs []interval.Interval, x, y interval.Time) []string {
-	set := make(map[string]struct{})
+// segment [x,y], x < y. The result reuses scratch's storage; callers
+// that keep it must copy.
+func aliveOn(ivs []interval.Interval, x, y interval.Time, scratch []string) []string {
+	syms := scratch[:0]
 	for _, iv := range ivs {
 		if iv.Start <= x && y <= iv.End {
-			set[iv.Symbol] = struct{}{}
+			syms = append(syms, iv.Symbol)
 		}
 	}
-	return sortedKeys(set)
+	return sortDedup(syms)
 }
 
-// aliveAt returns the sorted distinct symbols alive at instant t.
+// aliveAt returns the sorted distinct symbols alive at instant t. The
+// result is freshly allocated (point-event segments keep it).
 func aliveAt(ivs []interval.Interval, t interval.Time) []string {
-	set := make(map[string]struct{})
+	var syms []string
 	for _, iv := range ivs {
 		if iv.Start <= t && t <= iv.End {
-			set[iv.Symbol] = struct{}{}
+			syms = append(syms, iv.Symbol)
 		}
 	}
-	return sortedKeys(set)
+	return sortDedup(syms)
 }
 
-func sortedKeys(set map[string]struct{}) []string {
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+// sortDedup sorts syms in place and compacts away adjacent duplicates
+// (the same symbol can be alive twice via overlapping occurrences).
+func sortDedup(syms []string) []string {
+	sort.Strings(syms)
+	w := 0
+	for i, s := range syms {
+		if i == 0 || s != syms[i-1] {
+			syms[w] = s
+			w++
+		}
 	}
-	sort.Strings(out)
-	return out
+	return syms[:w]
 }
 
 func equalStrings(a, b []string) bool {

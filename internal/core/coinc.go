@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"sync"
 	"time"
 
 	"tpminer/internal/interval"
@@ -45,10 +44,10 @@ func MineCoincidenceCtx(ctx context.Context, db *interval.Database, opt Options)
 
 	var results []pattern.CoincResult
 	if opt.Parallel > 1 {
-		results = mineCoincParallel(enc, opt, minCount, &stats, ctl)
+		results = mineCoincParallel(enc, opt, minCount, &stats, ctl, nil)
 	} else {
 		m := newCoincMiner(enc, opt, minCount, ctl)
-		m.mine(initialCoincProjection(enc))
+		m.mine(initialCoincProjection(enc), 0)
 		stats.add(m.stats)
 		results = m.results
 	}
@@ -99,6 +98,14 @@ type coincMiner struct {
 	stampS, stampI     []int64
 	tok                int64
 
+	// projPool holds one reusable projection buffer per search depth;
+	// see temporalMiner.projPool.
+	projPool [][]coincProjEntry
+
+	// sched and stealCutoff are set on parallel runs; see temporalMiner.
+	sched       *sched[coincJob]
+	stealCutoff int
+
 	// ctl is the run-wide cancellation/budget state; ops counts local
 	// work units between polls.
 	ctl *runControl
@@ -132,9 +139,14 @@ func (m *coincMiner) tick() bool {
 	return m.ctl.stop.Load()
 }
 
-func (m *coincMiner) mine(proj []coincProjEntry) {
+func (m *coincMiner) mine(proj []coincProjEntry, depth int) {
 	if m.tick() {
 		return
+	}
+	if m.topk != nil {
+		if f := m.topk.threshold(); f > m.minCount {
+			m.minCount = f
+		}
 	}
 	m.stats.Nodes++
 	if len(m.elems) > 0 {
@@ -157,7 +169,7 @@ func (m *coincMiner) mine(proj []coincProjEntry) {
 		if m.ctl.stop.Load() {
 			return
 		}
-		m.extend(proj, c)
+		m.extend(proj, c, depth)
 	}
 }
 
@@ -269,17 +281,19 @@ func containsItems(haystack, needle []seqdb.Item) bool {
 	return true
 }
 
-// extend projects for candidate c, applies it to the prefix, recurses,
-// and restores the prefix.
-func (m *coincMiner) extend(proj []coincProjEntry, c candidate) {
-	next := m.project(proj, c)
+// extend projects for candidate c, applies it to the prefix, recurses
+// (or hands the subtree to the shared queue), and restores the prefix.
+func (m *coincMiner) extend(proj []coincProjEntry, c candidate, depth int) {
+	next := m.project(proj, c, depth)
 	if c.isI {
 		last := len(m.elems) - 1
 		m.elems[last] = append(m.elems[last], c.item)
 	} else {
 		m.elems = append(m.elems, []seqdb.Item{c.item})
 	}
-	m.mine(next)
+	if !m.trySteal(next, depth) {
+		m.mine(next, depth+1)
+	}
 	if c.isI {
 		last := len(m.elems) - 1
 		m.elems[last] = m.elems[last][:len(m.elems[last])-1]
@@ -288,52 +302,112 @@ func (m *coincMiner) extend(proj []coincProjEntry, c candidate) {
 	}
 }
 
-// project computes the earliest-match projection for prefix + c.
-// It must run before the prefix mutation (it reads the current last
-// element).
-func (m *coincMiner) project(proj []coincProjEntry, c candidate) []coincProjEntry {
+// project computes the earliest-match projection for prefix + c using
+// the posting-list index: instead of scanning every later slice, it
+// walks only the slices that actually contain c.item. It must run before
+// the prefix mutation (it reads the current last element). The returned
+// slice is a depth-pooled buffer owned by the miner.
+func (m *coincMiner) project(proj []coincProjEntry, c candidate, depth int) []coincProjEntry {
 	var lastElem []seqdb.Item
 	if len(m.elems) > 0 {
 		lastElem = m.elems[len(m.elems)-1]
 	}
-	out := make([]coincProjEntry, 0, int(c.count))
+	for len(m.projPool) <= depth {
+		m.projPool = append(m.projPool, nil)
+	}
+	out := m.projPool[depth][:0]
+	if cap(out) < int(c.count) {
+		out = make([]coincProjEntry, 0, int(c.count))
+	}
 	for i := range proj {
 		if m.tick() {
 			break // aborting: the recursion on the partial projection is cut at entry
 		}
 		pe := &proj[i]
-		seq := &m.db.Seqs[pe.seq]
+		posts := m.db.Occ.Slices(pe.seq, c.item)
 		if c.isI {
-			// Earliest slice containing lastElem ∪ {item}. The stored
-			// loc is the earliest match of lastElem, so the scan starts
-			// there; the new item has a larger id than every lastElem
-			// member, so within loc.Slice it can only sit after loc.Idx.
-			for ci := int(pe.loc.Slice); ci < len(seq.Slices); ci++ {
+			// Earliest slice containing lastElem ∪ {item}, at or after
+			// the stored earliest match of lastElem. The new item has a
+			// larger id than every lastElem member, so within loc.Slice
+			// it can only sit after loc.Idx; in later slices the whole
+			// last element must re-match.
+			seq := &m.db.Seqs[pe.seq]
+			for k := lowerBound32(posts, pe.loc.Slice); k < len(posts); k++ {
+				ci := posts[k]
 				items := seq.Slices[ci].Items
-				if ci > int(pe.loc.Slice) && !containsItems(items, lastElem) {
+				if ci > pe.loc.Slice && !containsItems(items, lastElem) {
 					continue
 				}
-				if idx := findItem(items, c.item); idx >= 0 {
-					out = append(out, coincProjEntry{
-						seq: pe.seq,
-						loc: seqdb.Loc{Slice: int32(ci), Idx: int32(idx)},
-					})
-					break
-				}
+				out = append(out, coincProjEntry{
+					seq: pe.seq,
+					loc: seqdb.Loc{Slice: ci, Idx: int32(findItem(items, c.item))},
+				})
+				break
 			}
 		} else {
-			for ci := int(pe.loc.Slice) + 1; ci < len(seq.Slices); ci++ {
-				if idx := findItem(seq.Slices[ci].Items, c.item); idx >= 0 {
-					out = append(out, coincProjEntry{
-						seq: pe.seq,
-						loc: seqdb.Loc{Slice: int32(ci), Idx: int32(idx)},
-					})
-					break
-				}
+			// Earliest slice strictly after the match containing c.item:
+			// the first posting past loc.Slice.
+			if k := lowerBound32(posts, pe.loc.Slice+1); k < len(posts) {
+				ci := posts[k]
+				items := m.db.Seqs[pe.seq].Slices[ci].Items
+				out = append(out, coincProjEntry{
+					seq: pe.seq,
+					loc: seqdb.Loc{Slice: ci, Idx: int32(findItem(items, c.item))},
+				})
 			}
 		}
 	}
+	m.projPool[depth] = out // keep any growth for reuse
 	return out
+}
+
+// lowerBound32 returns the index of the first element of the ascending
+// slice a that is >= x, or len(a).
+func lowerBound32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// coincJob is one stolen subtree: the prefix elements plus an owned copy
+// of its projected database.
+type coincJob struct {
+	elems [][]seqdb.Item
+	proj  []coincProjEntry
+	depth int
+}
+
+// trySteal offers the subtree under the just-applied extension to the
+// shared queue; see temporalMiner.trySteal. Unlike the temporal miner it
+// is called after the prefix mutation (coinc projection precedes it), so
+// the snapshot is simply the current prefix.
+func (m *coincMiner) trySteal(next []coincProjEntry, depth int) bool {
+	if m.sched == nil || len(next) == 0 || len(next) < m.stealCutoff || m.sched.full() {
+		return false
+	}
+	elems := make([][]seqdb.Item, len(m.elems))
+	for i, el := range m.elems {
+		elems[i] = append([]seqdb.Item(nil), el...)
+	}
+	return m.sched.trySpawn(coincJob{
+		elems: elems,
+		proj:  append([]coincProjEntry(nil), next...),
+		depth: depth + 1,
+	})
+}
+
+// runJob loads a stolen subtree's prefix state into the worker's miner
+// and searches it.
+func (m *coincMiner) runJob(j coincJob) {
+	m.elems = j.elems
+	m.mine(j.proj, j.depth)
 }
 
 // findItem returns the index of it in the sorted item list, or -1.
@@ -374,48 +448,33 @@ func (m *coincMiner) emit(proj []coincProjEntry) {
 	}
 }
 
-// mineCoincParallel fans first-level frequent symbols out over workers.
-func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stats, ctl *runControl) []pattern.CoincResult {
-	root := newCoincMiner(db, opt, minCount, ctl)
-	proj := initialCoincProjection(db)
-	root.stats.Nodes++
-	cands := root.countCandidates(proj, true, false)
+// mineCoincParallel runs a work-stealing parallel DFS over the search
+// tree: workers drain a bounded shared queue of subtree jobs, splitting
+// any subtree whose projected database exceeds the steal cutoff. The
+// callers' final sort restores the canonical order, so output is
+// byte-identical to a serial run. tk, when non-nil, is the shared top-k
+// state raising every worker's support threshold.
+func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stats, ctl *runControl, tk *topKState) []pattern.CoincResult {
+	workers := opt.Parallel
+	s := newSched[coincJob](workers)
+	cutoff := stealCutoffFor(opt, len(db.Seqs), minCount)
 
-	type job struct {
-		idx int
-		c   candidate
+	miners := make([]*coincMiner, workers)
+	for w := range miners {
+		m := newCoincMiner(db, opt, minCount, ctl)
+		m.topk = tk
+		m.sched = s
+		m.stealCutoff = cutoff
+		miners[w] = m
 	}
-	jobs := make(chan job)
-	workerResults := make([][]pattern.CoincResult, len(cands))
-	workerStats := make([]Stats, opt.Parallel)
 
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Parallel; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			m := newCoincMiner(db, opt, minCount, ctl)
-			for j := range jobs {
-				m.results = nil
-				m.extend(proj, j.c)
-				workerResults[j.idx] = m.results
-			}
-			workerStats[w] = m.stats
-		}(w)
-	}
-	for i, c := range cands {
-		jobs <- job{idx: i, c: c}
-	}
-	close(jobs)
-	wg.Wait()
+	s.trySpawn(coincJob{proj: initialCoincProjection(db), depth: 0})
+	s.run(workers, func(w int, j coincJob) { miners[w].runJob(j) })
 
-	stats.add(root.stats)
-	for _, ws := range workerStats {
-		stats.add(ws)
-	}
 	var out []pattern.CoincResult
-	for _, rs := range workerResults {
-		out = append(out, rs...)
+	for _, m := range miners {
+		stats.add(m.stats)
+		out = append(out, m.results...)
 	}
 	return out
 }

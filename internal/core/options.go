@@ -92,9 +92,18 @@ type Options struct {
 	DisablePostfixPruning bool // P3
 	DisableSizePruning    bool // P4
 
-	// Parallel is the number of worker goroutines used to fan the
-	// first-level projections out. 0 or 1 mines serially.
+	// Parallel is the number of worker goroutines of the work-stealing
+	// parallel DFS: workers drain a shared queue of subtree jobs and any
+	// worker splits off subtrees whose projected database is large
+	// enough to be worth sharing. Results are identical to a serial run.
+	// 0 or 1 mines serially. Honored by all miners, including top-k.
 	Parallel int
+
+	// stealCutoff overrides the minimum projected-database size at which
+	// a subtree is offered to other workers. 0 uses the built-in
+	// heuristic (see stealCutoffFor). Unexported: a white-box test knob
+	// to force stealing on tiny databases.
+	stealCutoff int
 }
 
 // ResolveMinCount converts the options' support threshold into an

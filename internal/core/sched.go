@@ -1,0 +1,107 @@
+package core
+
+import "sync"
+
+// Work-stealing parallel DFS.
+//
+// A parallel run is a pool of workers draining one bounded shared queue
+// of subtree jobs. The run starts with a single job — the search root —
+// and any worker that projects a subtree bigger than its steal cutoff
+// offers it to the queue instead of recursing, so large skewed subtrees
+// are split across workers wherever they appear, not just at the first
+// level. Below the cutoff (or when the queue is full) the worker
+// recurses serially, which keeps job granularity bounded and makes the
+// enqueue side non-blocking — workers can never deadlock on a full
+// queue. Each worker owns one miner (counters, projection pools), so a
+// job execution reuses the same scratch memory as serial search.
+//
+// Termination uses the standard pending-counter pattern: every spawned
+// job holds one count, the queue closes when the count drains to zero,
+// and workers exit on queue close. Cancellation needs nothing extra:
+// the runControl stop flag makes queued jobs return at their first tick,
+// so the queue drains promptly and no goroutine is left behind.
+//
+// Determinism: the complete search visits exactly the same nodes as the
+// serial miner (prunings P1–P4 depend only on per-node state), so the
+// union of per-worker result buffers equals the serial result multiset;
+// the callers' final normalize/sort pass puts it into the canonical
+// order, making output byte-identical to serial runs. Top-k runs share
+// one topKState whose threshold only ever rises toward the true kth-best
+// support, which never prunes a top-k pattern — see topk.go.
+
+// defaultStealCutoff floors the steal cutoff: subtrees whose projected
+// database is smaller than this are never worth a queue round-trip.
+const defaultStealCutoff = 16
+
+// stealCutoffFor picks the minimum projected-database size at which a
+// subtree is offered to other workers. Options.stealCutoff (tests)
+// overrides it.
+func stealCutoffFor(opt Options, nSeqs, minCount int) int {
+	if opt.stealCutoff > 0 {
+		return opt.stealCutoff
+	}
+	c := nSeqs / (8 * opt.Parallel)
+	if c < 2*minCount {
+		c = 2 * minCount
+	}
+	if c < defaultStealCutoff {
+		c = defaultStealCutoff
+	}
+	return c
+}
+
+// sched is the bounded shared work queue of one parallel mining run.
+// J is the subtree job type (temporalJob or coincJob).
+type sched[J any] struct {
+	jobs    chan J
+	pending sync.WaitGroup // outstanding (queued or running) jobs
+}
+
+func newSched[J any](workers int) *sched[J] {
+	capacity := 8 * workers
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &sched[J]{jobs: make(chan J, capacity)}
+}
+
+// trySpawn offers a job to the queue without blocking. It returns false
+// when the queue is full; the caller then recurses inline. Safe to call
+// from inside a running job: that job's own pending count keeps the
+// queue open while the new count is added.
+func (s *sched[J]) trySpawn(j J) bool {
+	s.pending.Add(1)
+	select {
+	case s.jobs <- j:
+		return true
+	default:
+		s.pending.Done()
+		return false
+	}
+}
+
+// full reports whether the queue looks full right now — a cheap gate so
+// workers skip the snapshot copy that building a job requires when a
+// spawn would almost surely fail anyway.
+func (s *sched[J]) full() bool { return len(s.jobs) == cap(s.jobs) }
+
+// run drains the queue with the given workers and blocks until the whole
+// search is done: every spawned job executed and every worker exited.
+func (s *sched[J]) run(workers int, handle func(worker int, j J)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range s.jobs {
+				handle(w, j)
+				s.pending.Done()
+			}
+		}(w)
+	}
+	go func() {
+		s.pending.Wait()
+		close(s.jobs)
+	}()
+	wg.Wait()
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"sync"
 	"time"
 
 	"tpminer/internal/endpoint"
@@ -48,10 +47,10 @@ func MineTemporalCtx(ctx context.Context, db *interval.Database, opt Options) ([
 
 	var results []pattern.TemporalResult
 	if opt.Parallel > 1 {
-		results = mineTemporalParallel(enc, opt, minCount, &stats, ctl)
+		results = mineTemporalParallel(enc, opt, minCount, &stats, ctl, nil)
 	} else {
 		m := newTemporalMiner(enc, opt, minCount, ctl)
-		m.mine(initialTemporalProjection(enc))
+		m.mine(initialTemporalProjection(enc), 0)
 		stats.add(m.stats)
 		results = m.results
 	}
@@ -92,6 +91,15 @@ func initialTemporalProjection(db *seqdb.EndpointDB) []projEntry {
 	return proj
 }
 
+// openInterval is one entry of the prefix's open set: the start endpoint
+// of an interval the prefix has opened but not yet closed, paired with
+// the finish endpoint that would close it. Keeping the finish id here
+// lets the P3 postfix loop iterate a contiguous buffer with no map or
+// pair-table hops.
+type openInterval struct {
+	start, finish seqdb.Item
+}
+
 // temporalMiner holds the depth-first search state for one worker.
 type temporalMiner struct {
 	db       *seqdb.EndpointDB
@@ -105,15 +113,28 @@ type temporalMiner struct {
 	ctl *runControl
 	ops int64
 
-	// Current prefix: elements of item ids, the set of open interval
-	// starts, and the number of interval instances opened so far.
+	// Current prefix: elements of item ids, the open interval instances
+	// (small slice, iterated by P3 on the hot path), and the number of
+	// interval instances opened so far.
 	elems      [][]seqdb.Item
-	open       map[seqdb.Item]struct{}
+	open       []openInterval
 	nIntervals int
 
 	// Candidate counting scratch, reused across the whole search.
 	countsS, countsI   []int32
 	touchedS, touchedI []seqdb.Item
+
+	// projPool holds one reusable projection buffer per search depth, so
+	// project() allocates only when a depth is first reached (or a buffer
+	// must grow). Buffers are used strictly stack-like: at most one live
+	// projection per depth.
+	projPool [][]projEntry
+
+	// sched and stealCutoff are set on parallel runs: subtrees whose
+	// projected database reaches the cutoff are offered to the shared
+	// queue instead of being recursed into.
+	sched       *sched[temporalJob]
+	stealCutoff int
 
 	// topk, when non-nil, raises minCount dynamically (top-k mining).
 	topk *topKState
@@ -126,10 +147,19 @@ func newTemporalMiner(db *seqdb.EndpointDB, opt Options, minCount int, ctl *runC
 		opt:      opt,
 		minCount: minCount,
 		ctl:      ctl,
-		open:     make(map[seqdb.Item]struct{}),
 		countsS:  make([]int32, n),
 		countsI:  make([]int32, n),
 	}
+}
+
+// isOpen reports whether the interval started by item s is open.
+func (m *temporalMiner) isOpen(s seqdb.Item) bool {
+	for i := range m.open {
+		if m.open[i].start == s {
+			return true
+		}
+	}
+	return false
 }
 
 // tick counts one unit of search work, polls the run control every
@@ -152,10 +182,16 @@ type candidate struct {
 }
 
 // mine explores the search tree rooted at the current prefix, whose
-// projected database is proj.
-func (m *temporalMiner) mine(proj []projEntry) {
+// projected database is proj. depth is the number of extensions applied
+// to reach the node; it indexes the projection pool for child nodes.
+func (m *temporalMiner) mine(proj []projEntry, depth int) {
 	if m.tick() {
 		return
+	}
+	if m.topk != nil {
+		if f := m.topk.threshold(); f > m.minCount {
+			m.minCount = f
+		}
 	}
 	m.stats.Nodes++
 	if len(m.elems) > 0 && len(m.open) == 0 && len(proj) >= m.minCount {
@@ -179,7 +215,7 @@ func (m *temporalMiner) mine(proj []projEntry) {
 		if m.ctl.stop.Load() {
 			return
 		}
-		m.extend(proj, c)
+		m.extend(proj, c, depth)
 	}
 	// Return scratch: countCandidates already reset the touched counters.
 }
@@ -258,7 +294,7 @@ func (m *temporalMiner) admit(it seqdb.Item, canStart, pairPruning bool) bool {
 		return canStart
 	}
 	if pairPruning {
-		if _, ok := m.open[m.db.Pair[it]]; !ok {
+		if !m.isOpen(m.db.Pair[it]) {
 			m.stats.PairPruned++
 			return false
 		}
@@ -273,13 +309,12 @@ func (m *temporalMiner) valid(it seqdb.Item) bool {
 	if !m.db.IsFinish[it] {
 		return true
 	}
-	_, ok := m.open[m.db.Pair[it]]
-	return ok
+	return m.isOpen(m.db.Pair[it])
 }
 
-// extend applies candidate c to the prefix, projects, recurses, and
-// restores the prefix state.
-func (m *temporalMiner) extend(proj []projEntry, c candidate) {
+// extend applies candidate c to the prefix, projects, recurses (or hands
+// the subtree to the shared queue), and restores the prefix state.
+func (m *temporalMiner) extend(proj []projEntry, c candidate, depth int) {
 	// Mutate prefix state.
 	if c.isI {
 		last := len(m.elems) - 1
@@ -287,25 +322,40 @@ func (m *temporalMiner) extend(proj []projEntry, c candidate) {
 	} else {
 		m.elems = append(m.elems, []seqdb.Item{c.item})
 	}
-	var closed seqdb.Item = -1
+	var closed openInterval
+	closedAt := -1
 	if m.db.IsFinish[c.item] {
-		closed = m.db.Pair[c.item]
-		delete(m.open, closed)
+		start := m.db.Pair[c.item]
+		for i := range m.open {
+			if m.open[i].start == start {
+				closedAt = i
+				break
+			}
+		}
+		closed = m.open[closedAt]
+		last := len(m.open) - 1
+		m.open[closedAt] = m.open[last]
+		m.open = m.open[:last]
 	} else {
-		m.open[c.item] = struct{}{}
+		m.open = append(m.open, openInterval{start: c.item, finish: m.db.Pair[c.item]})
 		m.nIntervals++
 	}
 
-	next := m.project(proj, c)
-	if len(next) > 0 {
-		m.mine(next)
+	next := m.project(proj, c, depth)
+	if len(next) > 0 && !m.trySteal(next, depth) {
+		m.mine(next, depth+1)
 	}
 
-	// Undo.
+	// Undo (the swap-remove above is reversed exactly, restoring order).
 	if m.db.IsFinish[c.item] {
-		m.open[closed] = struct{}{}
+		if closedAt == len(m.open) { // removed entry was the last one
+			m.open = append(m.open, closed)
+		} else {
+			m.open = append(m.open, m.open[closedAt])
+			m.open[closedAt] = closed
+		}
 	} else {
-		delete(m.open, c.item)
+		m.open = m.open[:len(m.open)-1]
 		m.nIntervals--
 	}
 	if c.isI {
@@ -317,20 +367,29 @@ func (m *temporalMiner) extend(proj []projEntry, c candidate) {
 }
 
 // project builds the pseudo-projected database for prefix + c. It relies
-// on the per-sequence exact position index: every item occurs at most
-// once per sequence, so the match location is unique. The open set must
-// already reflect the extension (project is called from extend after the
-// prefix mutation).
-func (m *temporalMiner) project(proj []projEntry, c candidate) []projEntry {
+// on the dense position index: every item occurs at most once per
+// sequence, so one array load per sequence finds the unique match
+// location. The open set must already reflect the extension (project is
+// called from extend after the prefix mutation). The returned slice is a
+// depth-pooled buffer owned by the miner; it stays valid until the next
+// projection at the same depth.
+func (m *temporalMiner) project(proj []projEntry, c candidate, depth int) []projEntry {
 	postfixPruning := !m.opt.DisablePostfixPruning
-	out := make([]projEntry, 0, int(c.count))
+	for len(m.projPool) <= depth {
+		m.projPool = append(m.projPool, nil)
+	}
+	out := m.projPool[depth][:0]
+	if cap(out) < int(c.count) {
+		out = make([]projEntry, 0, int(c.count))
+	}
 	for i := range proj {
 		if m.tick() {
 			break // aborting: the recursion on the partial projection is cut at entry
 		}
 		pe := &proj[i]
-		loc, ok := m.db.Pos[pe.seq][c.item]
-		if !ok {
+		row := m.db.Pos.Row(pe.seq)
+		loc := row[c.item]
+		if loc.Slice < 0 {
 			continue
 		}
 		if c.isI {
@@ -356,10 +415,14 @@ func (m *temporalMiner) project(proj []projEntry, c candidate) []projEntry {
 		}
 		if postfixPruning && len(m.open) > 0 { // P3
 			dead := false
-			pos := m.db.Pos[pe.seq]
-			for s := range m.open {
-				floc, ok := pos[m.db.Pair[s]]
-				if !ok || !loc.Before(floc) {
+			for oi := range m.open {
+				f := m.open[oi].finish
+				if f < 0 {
+					dead = true
+					break
+				}
+				floc := row[f]
+				if floc.Slice < 0 || !loc.Before(floc) {
 					dead = true
 					break
 				}
@@ -371,7 +434,48 @@ func (m *temporalMiner) project(proj []projEntry, c candidate) []projEntry {
 		}
 		out = append(out, projEntry{seq: pe.seq, loc: loc, firstTime: ft})
 	}
+	m.projPool[depth] = out // keep any growth for reuse
 	return out
+}
+
+// temporalJob is one stolen subtree: a snapshot of the prefix state plus
+// an owned copy of its projected database.
+type temporalJob struct {
+	elems      [][]seqdb.Item
+	open       []openInterval
+	nIntervals int
+	proj       []projEntry
+	depth      int
+}
+
+// trySteal offers the subtree under the just-applied extension to the
+// shared queue. It returns true when the subtree was handed off (the
+// caller skips recursion). Serial runs (no scheduler) and small subtrees
+// always return false.
+func (m *temporalMiner) trySteal(next []projEntry, depth int) bool {
+	if m.sched == nil || len(next) < m.stealCutoff || m.sched.full() {
+		return false
+	}
+	elems := make([][]seqdb.Item, len(m.elems))
+	for i, el := range m.elems {
+		elems[i] = append([]seqdb.Item(nil), el...)
+	}
+	return m.sched.trySpawn(temporalJob{
+		elems:      elems,
+		open:       append([]openInterval(nil), m.open...),
+		nIntervals: m.nIntervals,
+		proj:       append([]projEntry(nil), next...),
+		depth:      depth + 1,
+	})
+}
+
+// runJob loads a stolen subtree's prefix state into the worker's miner
+// and searches it.
+func (m *temporalMiner) runJob(j temporalJob) {
+	m.elems = j.elems
+	m.open = j.open
+	m.nIntervals = j.nIntervals
+	m.mine(j.proj, j.depth)
 }
 
 // emit records the current (complete) prefix as a result.
@@ -396,51 +500,32 @@ func (m *temporalMiner) emit(proj []projEntry) {
 	}
 }
 
-// mineTemporalParallel fans the first-level frequent items out over
-// Options.Parallel workers, each running an independent serial miner on
-// its subtree. Results and stats are merged deterministically.
-func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats, ctl *runControl) []pattern.TemporalResult {
-	root := newTemporalMiner(db, opt, minCount, ctl)
-	proj := initialTemporalProjection(db)
-	root.stats.Nodes++ // the shared root node
-	canStart := true
-	cands := root.countCandidates(proj, true, false, canStart)
+// mineTemporalParallel runs the work-stealing parallel search: workers
+// drain a bounded shared queue seeded with the root subtree, and any
+// worker enqueues a subtree when its projected database reaches the
+// steal cutoff (see sched.go). tk, when non-nil, is the shared top-k
+// threshold state. The callers' final normalize/sort pass makes the
+// merged output byte-identical to a serial run.
+func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats, ctl *runControl, tk *topKState) []pattern.TemporalResult {
+	workers := opt.Parallel
+	s := newSched[temporalJob](workers)
+	s.trySpawn(temporalJob{proj: initialTemporalProjection(db), depth: 0})
 
-	type job struct {
-		idx int
-		c   candidate
+	cutoff := stealCutoffFor(opt, len(db.Seqs), minCount)
+	miners := make([]*temporalMiner, workers)
+	for w := range miners {
+		m := newTemporalMiner(db, opt, minCount, ctl)
+		m.topk = tk
+		m.sched = s
+		m.stealCutoff = cutoff
+		miners[w] = m
 	}
-	jobs := make(chan job)
-	workerResults := make([][]pattern.TemporalResult, len(cands))
-	workerStats := make([]Stats, opt.Parallel)
+	s.run(workers, func(w int, j temporalJob) { miners[w].runJob(j) })
 
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Parallel; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			m := newTemporalMiner(db, opt, minCount, ctl)
-			for j := range jobs {
-				m.results = nil
-				m.extend(proj, j.c)
-				workerResults[j.idx] = m.results
-			}
-			workerStats[w] = m.stats
-		}(w)
-	}
-	for i, c := range cands {
-		jobs <- job{idx: i, c: c}
-	}
-	close(jobs)
-	wg.Wait()
-
-	stats.add(root.stats)
-	for _, ws := range workerStats {
-		stats.add(ws)
-	}
 	var out []pattern.TemporalResult
-	for _, rs := range workerResults {
-		out = append(out, rs...)
+	for _, m := range miners {
+		stats.add(m.stats)
+		out = append(out, m.results...)
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpminer/internal/interval"
@@ -19,7 +21,10 @@ import (
 //
 // Ties at the kth support are cut deterministically by the standard
 // result order (descending support, ascending size, lexicographic key).
-// Top-k runs are always serial; Options.Parallel is ignored.
+// Top-k honors Options.Parallel: parallel workers share one topKState
+// whose threshold rises monotonically toward the true kth-best support,
+// so no top-k pattern is ever pruned and the final sort+truncate yields
+// the same result set as a serial run.
 
 // MineTemporalTopK returns the k best-supported temporal patterns.
 // Distinctness is counted on normalized patterns unless
@@ -56,10 +61,17 @@ func MineTemporalTopKCtx(ctx context.Context, db *interval.Database, k int, opt 
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
 	}
 
-	m := newTemporalMiner(enc, opt, minCount, ctl)
-	m.topk = newTopKState(k, !opt.KeepOccurrences)
-	m.mine(initialTemporalProjection(enc))
-	stats.add(m.stats)
+	tk := newTopKState(k, !opt.KeepOccurrences)
+	var results []pattern.TemporalResult
+	if opt.Parallel > 1 {
+		results = mineTemporalParallel(enc, opt, minCount, &stats, ctl, tk)
+	} else {
+		m := newTemporalMiner(enc, opt, minCount, ctl)
+		m.topk = tk
+		m.mine(initialTemporalProjection(enc), 0)
+		stats.add(m.stats)
+		results = m.results
+	}
 
 	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
 	if err != nil {
@@ -67,7 +79,6 @@ func MineTemporalTopKCtx(ctx context.Context, db *interval.Database, k int, opt 
 		return nil, stats, err
 	}
 
-	results := m.results
 	if !opt.KeepOccurrences {
 		results = pattern.NormalizeTemporalResults(results)
 	} else {
@@ -114,10 +125,17 @@ func MineCoincidenceTopKCtx(ctx context.Context, db *interval.Database, k int, o
 		stats.ItemsRemoved = enc.FilterInfrequent(minCount)
 	}
 
-	m := newCoincMiner(enc, opt, minCount, ctl)
-	m.topk = newTopKState(k, false)
-	m.mine(initialCoincProjection(enc))
-	stats.add(m.stats)
+	tk := newTopKState(k, false)
+	var results []pattern.CoincResult
+	if opt.Parallel > 1 {
+		results = mineCoincParallel(enc, opt, minCount, &stats, ctl, tk)
+	} else {
+		m := newCoincMiner(enc, opt, minCount, ctl)
+		m.topk = tk
+		m.mine(initialCoincProjection(enc), 0)
+		stats.add(m.stats)
+		results = m.results
+	}
 
 	err, stats.Truncated, stats.TruncatedBy = ctl.finish()
 	if err != nil {
@@ -125,7 +143,6 @@ func MineCoincidenceTopKCtx(ctx context.Context, db *interval.Database, k int, o
 		return nil, stats, err
 	}
 
-	results := m.results
 	pattern.SortCoincResults(results)
 	if len(results) > k {
 		results = results[:k]
@@ -143,20 +160,37 @@ func MineCoincidenceTopKCtx(ctx context.Context, db *interval.Database, k int, o
 // distinct key; a later better labeling leaves a stale (lower) entry,
 // which only makes the threshold conservative — completeness is never
 // at risk.
+//
+// The state is shared across the workers of a parallel run: seen/heap
+// updates are mutex-guarded, and the effective threshold is published
+// through an atomic floor that only ever rises. Since the floor is at
+// all times ≤ the true kth-best support, a worker pruning at the floor
+// can never discard a top-k pattern, and the deterministic final
+// sort+truncate makes parallel output identical to serial.
 type topKState struct {
 	k         int
 	normalize bool
-	seen      map[string]struct{}
-	supports  intMinHeap
+
+	mu       sync.Mutex
+	seen     map[string]struct{}
+	supports intMinHeap
+
+	floor atomic.Int64 // current threshold; 0 until k patterns are known
 }
 
 func newTopKState(k int, normalize bool) *topKState {
 	return &topKState{k: k, normalize: normalize, seen: make(map[string]struct{}, k)}
 }
 
+// threshold returns the current dynamic support threshold (0 until k
+// distinct patterns have been observed). Lock-free; safe from any
+// worker.
+func (t *topKState) threshold() int { return int(t.floor.Load()) }
+
 // observe records an emitted pattern's support and returns the (possibly
-// raised) mining threshold.
+// raised) mining threshold for the calling worker.
 func (t *topKState) observe(key string, support, minCount int) int {
+	t.mu.Lock()
 	if _, dup := t.seen[key]; !dup {
 		t.seen[key] = struct{}{}
 		if t.supports.Len() < t.k {
@@ -166,8 +200,22 @@ func (t *topKState) observe(key string, support, minCount int) int {
 			heap.Fix(&t.supports, 0)
 		}
 	}
-	if t.supports.Len() >= t.k && t.supports[0] > minCount {
-		return t.supports[0]
+	var thr int
+	if t.supports.Len() >= t.k {
+		thr = t.supports[0]
+	}
+	t.mu.Unlock()
+
+	if thr > 0 {
+		for {
+			cur := t.floor.Load()
+			if int64(thr) <= cur || t.floor.CompareAndSwap(cur, int64(thr)) {
+				break
+			}
+		}
+	}
+	if f := int(t.floor.Load()); f > minCount {
+		return f
 	}
 	return minCount
 }

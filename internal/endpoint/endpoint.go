@@ -141,46 +141,107 @@ func (sl Slice) String() string {
 	return "(" + strings.Join(parts, " ") + ")"
 }
 
-// Encode transforms an interval sequence into its endpoint representation.
-// The input is canonicalized (sorted) first; the original sequence is not
-// modified. Invalid intervals yield an error.
-func Encode(s interval.Sequence) ([]Slice, error) {
+// timed is an endpoint tagged with its emission time, the intermediate
+// form Encode sorts before grouping endpoints into slices.
+type timed struct {
+	t interval.Time
+	e Endpoint
+}
+
+type timedSorter []timed
+
+func (s timedSorter) Len() int { return len(s) }
+func (s timedSorter) Less(i, j int) bool {
+	if s[i].t != s[j].t {
+		return s[i].t < s[j].t
+	}
+	return s[i].e.Less(s[j].e)
+}
+func (s timedSorter) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Encoder encodes interval sequences into endpoint representation while
+// reusing scratch buffers across calls. A database encode runs it once
+// per sequence, so the per-call allocations are only the two arrays that
+// escape into the result (the slice headers and one shared endpoint
+// backing array). The zero value is ready to use; an Encoder must not be
+// shared between goroutines.
+type Encoder struct {
+	ivs    []interval.Interval
+	points []timed
+}
+
+// smallSeqScan is the sequence length below which occurrence indices are
+// assigned with a quadratic backwards scan instead of a symbol map. Most
+// sequences are short, and for those the scan avoids hashing every
+// symbol twice per interval.
+const smallSeqScan = 32
+
+// Encode transforms an interval sequence into its endpoint
+// representation. The input is canonicalized (sorted) first; the
+// original sequence is not modified. Invalid intervals yield an error.
+// The result does not alias the Encoder's scratch and stays valid across
+// subsequent calls.
+func (enc *Encoder) Encode(s interval.Sequence) ([]Slice, error) {
 	if err := s.Valid(); err != nil {
 		return nil, err
 	}
-	sorted := s.Clone()
-	sorted.Normalize()
+	ivs := append(enc.ivs[:0], s.Intervals...)
+	enc.ivs = ivs
+	interval.SortIntervals(ivs)
 
-	occ := make(map[string]int, len(sorted.Intervals))
-	type timed struct {
-		t interval.Time
-		e Endpoint
-	}
-	points := make([]timed, 0, 2*len(sorted.Intervals))
-	for _, iv := range sorted.Intervals {
-		occ[iv.Symbol]++
-		k := occ[iv.Symbol]
-		points = append(points,
-			timed{iv.Start, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Start}},
-			timed{iv.End, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Finish}},
-		)
-	}
-	sort.Slice(points, func(i, j int) bool {
-		if points[i].t != points[j].t {
-			return points[i].t < points[j].t
+	points := enc.points[:0]
+	if len(ivs) <= smallSeqScan {
+		for i, iv := range ivs {
+			k := 1
+			for j := 0; j < i; j++ {
+				if ivs[j].Symbol == iv.Symbol {
+					k++
+				}
+			}
+			points = append(points,
+				timed{iv.Start, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Start}},
+				timed{iv.End, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Finish}},
+			)
 		}
-		return points[i].e.Less(points[j].e)
-	})
+	} else {
+		occ := make(map[string]int, len(ivs))
+		for _, iv := range ivs {
+			occ[iv.Symbol]++
+			k := occ[iv.Symbol]
+			points = append(points,
+				timed{iv.Start, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Start}},
+				timed{iv.End, Endpoint{Symbol: iv.Symbol, Occ: k, Kind: Finish}},
+			)
+		}
+	}
+	enc.points = points
+	sort.Sort(timedSorter(points))
 
-	var out []Slice
-	for _, p := range points {
-		if n := len(out); n > 0 && out[n-1].Time == p.t {
-			out[n-1].Points = append(out[n-1].Points, p.e)
-			continue
+	nSlices := 0
+	for i := range points {
+		if i == 0 || points[i].t != points[i-1].t {
+			nSlices++
 		}
-		out = append(out, Slice{Time: p.t, Points: []Endpoint{p.e}})
+	}
+	out := make([]Slice, 0, nSlices)
+	backing := make([]Endpoint, len(points))
+	for i, p := range points {
+		backing[i] = p.e
+		if i == 0 || p.t != points[i-1].t {
+			out = append(out, Slice{Time: p.t, Points: backing[i:i:len(backing)]})
+		}
+		last := len(out) - 1
+		out[last].Points = out[last].Points[:len(out[last].Points)+1]
 	}
 	return out, nil
+}
+
+// Encode transforms an interval sequence into its endpoint representation
+// using a throwaway Encoder. Batch callers should hold an Encoder and
+// call its Encode method instead to amortize scratch allocations.
+func Encode(s interval.Sequence) ([]Slice, error) {
+	var enc Encoder
+	return enc.Encode(s)
 }
 
 // Decode reconstructs the interval sequence from its endpoint

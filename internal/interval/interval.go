@@ -73,20 +73,30 @@ type Sequence struct {
 	Intervals []Interval
 }
 
+// SortIntervals sorts intervals into canonical order (start, end, symbol)
+// in place. It is the sorting primitive behind Sequence.Normalize, exposed
+// so encoders can canonicalize a scratch copy without allocating a
+// Sequence or a sort closure.
+func SortIntervals(ivs []Interval) {
+	sort.Sort(intervalSorter(ivs))
+}
+
+type intervalSorter []Interval
+
+func (s intervalSorter) Len() int           { return len(s) }
+func (s intervalSorter) Less(i, j int) bool { return s[i].Less(s[j]) }
+func (s intervalSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // Normalize sorts the intervals into canonical order (start, end, symbol)
 // in place and returns the sequence for chaining.
 func (s *Sequence) Normalize() *Sequence {
-	sort.Slice(s.Intervals, func(i, j int) bool {
-		return s.Intervals[i].Less(s.Intervals[j])
-	})
+	SortIntervals(s.Intervals)
 	return s
 }
 
 // Normalized reports whether the intervals are already in canonical order.
 func (s *Sequence) Normalized() bool {
-	return sort.SliceIsSorted(s.Intervals, func(i, j int) bool {
-		return s.Intervals[i].Less(s.Intervals[j])
-	})
+	return sort.IsSorted(intervalSorter(s.Intervals))
 }
 
 // Valid checks every interval in the sequence.

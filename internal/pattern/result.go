@@ -14,34 +14,76 @@ type CoincResult struct {
 	Support int
 }
 
+// resultOrder is the precomputed sort rank of one result. Size and Key
+// are not free (Size counts distinct instances, Key allocates), so the
+// sorters compute both once per result instead of once per comparison.
+type resultOrder struct {
+	size int
+	key  string
+}
+
+func (a resultOrder) less(b resultOrder, supA, supB int) bool {
+	if supA != supB {
+		return supA > supB
+	}
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.key < b.key
+}
+
 // SortTemporalResults orders results deterministically: descending
 // support, then ascending size, then lexicographic key. All miners sort
 // their output this way so result sets compare element-wise.
 func SortTemporalResults(rs []TemporalResult) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Support != rs[j].Support {
-			return rs[i].Support > rs[j].Support
-		}
-		si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
-		if si != sj {
-			return si < sj
-		}
-		return rs[i].Pattern.Key() < rs[j].Pattern.Key()
-	})
+	if len(rs) < 2 {
+		return
+	}
+	ks := make([]resultOrder, len(rs))
+	for i := range rs {
+		ks[i] = resultOrder{rs[i].Pattern.Size(), rs[i].Pattern.Key()}
+	}
+	sort.Sort(&temporalSorter{rs, ks})
+}
+
+type temporalSorter struct {
+	rs []TemporalResult
+	ks []resultOrder
+}
+
+func (s *temporalSorter) Len() int { return len(s.rs) }
+func (s *temporalSorter) Less(i, j int) bool {
+	return s.ks[i].less(s.ks[j], s.rs[i].Support, s.rs[j].Support)
+}
+func (s *temporalSorter) Swap(i, j int) {
+	s.rs[i], s.rs[j] = s.rs[j], s.rs[i]
+	s.ks[i], s.ks[j] = s.ks[j], s.ks[i]
 }
 
 // SortCoincResults is the coincidence analogue of SortTemporalResults.
 func SortCoincResults(rs []CoincResult) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Support != rs[j].Support {
-			return rs[i].Support > rs[j].Support
-		}
-		si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
-		if si != sj {
-			return si < sj
-		}
-		return rs[i].Pattern.Key() < rs[j].Pattern.Key()
-	})
+	if len(rs) < 2 {
+		return
+	}
+	ks := make([]resultOrder, len(rs))
+	for i := range rs {
+		ks[i] = resultOrder{rs[i].Pattern.Size(), rs[i].Pattern.Key()}
+	}
+	sort.Sort(&coincSorter{rs, ks})
+}
+
+type coincSorter struct {
+	rs []CoincResult
+	ks []resultOrder
+}
+
+func (s *coincSorter) Len() int { return len(s.rs) }
+func (s *coincSorter) Less(i, j int) bool {
+	return s.ks[i].less(s.ks[j], s.rs[i].Support, s.rs[j].Support)
+}
+func (s *coincSorter) Swap(i, j int) {
+	s.rs[i], s.rs[j] = s.rs[j], s.rs[i]
+	s.ks[i], s.ks[j] = s.ks[j], s.ks[i]
 }
 
 // NormalizeTemporalResults canonicalizes every pattern (dropping

@@ -9,6 +9,7 @@ package pattern
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tpminer/internal/endpoint"
@@ -93,23 +94,35 @@ func (p Temporal) String() string {
 
 // Key returns a canonical string key usable for dedup maps. Unlike
 // String it is unambiguous for any symbols (elements are delimited).
+// It sits on the result-sorting hot path, so it builds the key with one
+// sized allocation and no fmt machinery.
 func (p Temporal) Key() string {
-	var b strings.Builder
+	n := 0
+	for _, el := range p.Elements {
+		for _, e := range el {
+			n += len(e.Symbol) + 5 // '.', up to 2 occ digits, kind, separator
+		}
+	}
+	b := make([]byte, 0, n)
 	for i, el := range p.Elements {
 		if i > 0 {
-			b.WriteByte('|')
+			b = append(b, '|')
 		}
 		for j, e := range el {
 			if j > 0 {
-				b.WriteByte(',')
+				b = append(b, ',')
 			}
-			b.WriteString(e.Symbol)
-			b.WriteByte('.')
-			fmt.Fprintf(&b, "%d", e.Occ)
-			b.WriteString(e.Kind.String())
+			b = append(b, e.Symbol...)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(e.Occ), 10)
+			if e.Kind == endpoint.Start {
+				b = append(b, '+')
+			} else {
+				b = append(b, '-')
+			}
 		}
 	}
-	return b.String()
+	return string(b)
 }
 
 // Equal reports structural equality.

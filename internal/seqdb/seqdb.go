@@ -12,7 +12,6 @@ package seqdb
 
 import (
 	"fmt"
-	"sort"
 
 	"tpminer/internal/coincidence"
 	"tpminer/internal/endpoint"
@@ -150,11 +149,65 @@ func (t *SymbolTable) Symbol(id Item) string { return t.syms[id] }
 // Len returns the number of interned symbols.
 func (t *SymbolTable) Len() int { return len(t.syms) }
 
+// maxDenseEntries caps the size of the dense per-sequence indexes
+// (sequences × item ids). Beyond it a degenerate database (say, millions
+// of distinct symbols across thousands of sequences) would allocate
+// multi-gigabyte index arrays; encoding fails with a clear error instead
+// of inviting the OOM killer. 1<<27 Locs is one gigabyte, well above the
+// paper-scale experiments (which need a few million entries).
+const maxDenseEntries = 1 << 27
+
+func checkDenseSize(nSeqs, width int) error {
+	if nSeqs > 0 && width > 0 && nSeqs > maxDenseEntries/width {
+		return fmt.Errorf("seqdb: dense index would need %d×%d entries (limit %d); reduce distinct symbols or sequences", nSeqs, width, maxDenseEntries)
+	}
+	return nil
+}
+
+// PosIndex is the dense item→location index of an EndpointDB: row s is a
+// flat array indexed by item id whose entries locate that item in
+// sequence s, with Slice == -1 marking items absent from the sequence.
+// It replaces a per-sequence map so the projection inner loop is a
+// single bounds-checked array load instead of a hash lookup.
+type PosIndex struct {
+	width int
+	locs  []Loc
+}
+
+func newPosIndex(nSeqs, width int) PosIndex {
+	locs := make([]Loc, nSeqs*width)
+	if len(locs) > 0 {
+		// Fill with the absent sentinel by copy-doubling: memmove beats
+		// a scalar store loop on these multi-hundred-KB arrays.
+		locs[0] = Loc{Slice: -1, Idx: -1}
+		for n := 1; n < len(locs); n *= 2 {
+			copy(locs[n:], locs[:n])
+		}
+	}
+	return PosIndex{width: width, locs: locs}
+}
+
+// Width returns the row width (the item-id space of the index).
+func (p *PosIndex) Width() int { return p.width }
+
+// Row returns sequence s's location row, indexed by item id. Entries
+// with Slice == -1 mark items absent from the sequence.
+func (p *PosIndex) Row(s int32) []Loc {
+	base := int(s) * p.width
+	return p.locs[base : base+p.width : base+p.width]
+}
+
+// At returns the location of item it in sequence s; Slice == -1 means
+// the item does not occur in the sequence.
+func (p *PosIndex) At(s int32, it Item) Loc {
+	return p.locs[int(s)*p.width+int(it)]
+}
+
 // EndpointDB is an interval database encoded into endpoint representation
 // with integer items. Because endpoints are occurrence-indexed, every
 // item appears at most once per sequence; Pos exploits that with an exact
-// per-sequence location index, and Pair links each item to the id of the
-// other end of the same interval.
+// dense per-sequence location index, and Pair links each item to the id
+// of the other end of the same interval.
 type EndpointDB struct {
 	Seqs  []Sequence
 	Table *EndpointTable
@@ -164,42 +217,82 @@ type EndpointDB struct {
 	Pair []Item
 	// IsFinish[i] reports whether item i is a finish endpoint.
 	IsFinish []bool
-	// Pos[s] locates each item occurring in sequence s.
-	Pos []map[Item]Loc
+	// Pos locates each item occurring in each sequence.
+	Pos PosIndex
+}
+
+// sortItems sorts a slice's item set in place. Slices are tiny (most
+// hold one or two items), so an insertion sort beats sort.Slice and
+// avoids the closure allocation on the encode hot path.
+func sortItems(items []Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
 }
 
 // EncodeEndpointDB encodes an interval database into endpoint
 // representation. Input sequences are validated; the input is not
 // modified.
+//
+// Encoding runs on every mine request, so the item slices of each
+// sequence are carved from a single backing array rather than allocated
+// per slice.
 func EncodeEndpointDB(db *interval.Database) (*EndpointDB, error) {
 	out := &EndpointDB{
 		Seqs:  make([]Sequence, len(db.Sequences)),
 		Table: NewEndpointTable(),
-		Pos:   make([]map[Item]Loc, len(db.Sequences)),
 	}
+	var enc endpoint.Encoder
 	for si := range db.Sequences {
-		slices, err := endpoint.Encode(db.Sequences[si])
+		slices, err := enc.Encode(db.Sequences[si])
 		if err != nil {
 			return nil, fmt.Errorf("seqdb: sequence %d: %w", si, err)
 		}
+		total := 0
+		for _, sl := range slices {
+			total += len(sl.Points)
+		}
+		backing := make([]Item, total)
 		seq := Sequence{Slices: make([]Slice, len(slices))}
-		pos := make(map[Item]Loc, 2*len(db.Sequences[si].Intervals))
+		k := 0
 		for ci, sl := range slices {
-			items := make([]Item, len(sl.Points))
+			items := backing[k : k+len(sl.Points) : k+len(sl.Points)]
+			k += len(sl.Points)
 			for pi, p := range sl.Points {
 				items[pi] = out.Table.Intern(p)
 			}
-			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
-			for ii, it := range items {
-				pos[it] = Loc{Slice: int32(ci), Idx: int32(ii)}
-			}
+			sortItems(items)
 			seq.Slices[ci] = Slice{Time: sl.Time, Items: items}
 		}
 		out.Seqs[si] = seq
-		out.Pos[si] = pos
+	}
+	if err := out.buildPosIndex(); err != nil {
+		return nil, err
 	}
 	out.buildPairIndex()
 	return out, nil
+}
+
+// buildPosIndex (re)builds the dense position index from the encoded
+// slices. The id space must be fully interned (the index width is
+// Table.Len()).
+func (db *EndpointDB) buildPosIndex() error {
+	width := db.Table.Len()
+	if err := checkDenseSize(len(db.Seqs), width); err != nil {
+		return err
+	}
+	db.Pos = newPosIndex(len(db.Seqs), width)
+	for si := range db.Seqs {
+		row := db.Pos.Row(int32(si))
+		for ci := range db.Seqs[si].Slices {
+			for ii, it := range db.Seqs[si].Slices[ci].Items {
+				row[it] = Loc{Slice: int32(ci), Idx: int32(ii)}
+			}
+		}
+	}
+	return nil
 }
 
 func (db *EndpointDB) buildPairIndex() {
@@ -223,8 +316,10 @@ func (db *EndpointDB) buildPairIndex() {
 func (db *EndpointDB) ItemSupports() []int {
 	sup := make([]int, db.Table.Len())
 	for si := range db.Seqs {
-		for it := range db.Pos[si] {
-			sup[it]++
+		for ci := range db.Seqs[si].Slices {
+			for _, it := range db.Seqs[si].Slices[ci].Items {
+				sup[it]++
+			}
 		}
 	}
 	return sup
@@ -250,13 +345,17 @@ func (db *EndpointDB) FilterInfrequent(minCount int) int {
 	}
 	for si := range db.Seqs {
 		seq := &db.Seqs[si]
-		pos := make(map[Item]Loc)
+		row := db.Pos.Row(int32(si))
 		outSlices := seq.Slices[:0]
 		for _, sl := range seq.Slices {
-			items := make([]Item, 0, len(sl.Items))
+			// Filter in place: the database is being rebuilt, so the
+			// original item slices are dead storage we can compact into.
+			items := sl.Items[:0]
 			for _, it := range sl.Items {
 				if keep[it] {
 					items = append(items, it)
+				} else {
+					row[it] = Loc{Slice: -1, Idx: -1}
 				}
 			}
 			if len(items) == 0 {
@@ -264,25 +363,92 @@ func (db *EndpointDB) FilterInfrequent(minCount int) int {
 			}
 			ci := int32(len(outSlices))
 			for ii, it := range items {
-				pos[it] = Loc{Slice: ci, Idx: int32(ii)}
+				row[it] = Loc{Slice: ci, Idx: int32(ii)}
 			}
 			outSlices = append(outSlices, Slice{Time: sl.Time, Items: items})
 		}
 		seq.Slices = outSlices
-		db.Pos[si] = pos
 	}
 	return removed
 }
 
+// OccIndex is the dense posting-list index of a CoincDB: for each
+// sequence and symbol id, the ascending slice indices whose item sets
+// contain the symbol, in CSR layout (one offsets row plus one postings
+// array per sequence). Projection uses it to jump straight to the next
+// slice containing a symbol instead of scanning every later slice.
+type OccIndex struct {
+	width  int
+	starts [][]int32 // starts[s] has width+1 entries into posts[s]
+	posts  [][]int32 // posts[s] holds ascending slice indices
+}
+
+// Width returns the symbol-id space of the index.
+func (o *OccIndex) Width() int { return o.width }
+
+// Slices returns the ascending slice indices of sequence s that contain
+// item it. The returned slice aliases the index; callers must not
+// modify it.
+func (o *OccIndex) Slices(s int32, it Item) []int32 {
+	st := o.starts[s]
+	return o.posts[s][st[it]:st[it+1]]
+}
+
 // CoincDB is an interval database encoded into coincidence representation
 // with integer symbol items. Unlike EndpointDB, the same item may occur
-// in many slices of one sequence.
+// in many slices of one sequence; Occ indexes those occurrences.
 type CoincDB struct {
 	Seqs  []Sequence
 	Table *SymbolTable
 	// Durations[s][c] is the time extent of slice c of sequence s
 	// (End - Start of the underlying segment), kept for reporting.
 	Durations [][]interval.Time
+	// Occ locates the slices containing each symbol in each sequence.
+	Occ OccIndex
+}
+
+// buildOccIndex (re)builds the posting-list index from the encoded
+// slices. The symbol space must be fully interned.
+func (db *CoincDB) buildOccIndex() error {
+	width := db.Table.Len()
+	// The offsets rows are (width+1) int32s per sequence — the same
+	// sequences×ids shape as the endpoint index, bounded the same way.
+	if err := checkDenseSize(len(db.Seqs), width+1); err != nil {
+		return err
+	}
+	db.Occ = OccIndex{
+		width:  width,
+		starts: make([][]int32, len(db.Seqs)),
+		posts:  make([][]int32, len(db.Seqs)),
+	}
+	for si := range db.Seqs {
+		slices := db.Seqs[si].Slices
+		starts := make([]int32, width+1)
+		total := 0
+		for ci := range slices {
+			for _, it := range slices[ci].Items {
+				starts[it+1]++
+				total++
+			}
+		}
+		for i := 1; i <= width; i++ {
+			starts[i] += starts[i-1]
+		}
+		posts := make([]int32, total)
+		// fill cursors: next write position per item; slices are visited
+		// in ascending order so each posting list comes out sorted.
+		next := make([]int32, width)
+		copy(next, starts[:width])
+		for ci := range slices {
+			for _, it := range slices[ci].Items {
+				posts[next[it]] = int32(ci)
+				next[it]++
+			}
+		}
+		db.Occ.starts[si] = starts
+		db.Occ.posts[si] = posts
+	}
+	return nil
 }
 
 // EncodeCoincidenceDB encodes an interval database into coincidence
@@ -298,19 +464,29 @@ func EncodeCoincidenceDB(db *interval.Database) (*CoincDB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("seqdb: sequence %d: %w", si, err)
 		}
+		total := 0
+		for _, c := range segs {
+			total += len(c.Symbols)
+		}
+		backing := make([]Item, total)
 		seq := Sequence{Slices: make([]Slice, len(segs))}
 		durs := make([]interval.Time, len(segs))
+		k := 0
 		for ci, c := range segs {
-			items := make([]Item, len(c.Symbols))
+			items := backing[k : k+len(c.Symbols) : k+len(c.Symbols)]
+			k += len(c.Symbols)
 			for pi, sym := range c.Symbols {
 				items[pi] = out.Table.Intern(sym)
 			}
-			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			sortItems(items)
 			seq.Slices[ci] = Slice{Time: c.Start, Items: items}
 			durs[ci] = c.End - c.Start
 		}
 		out.Seqs[si] = seq
 		out.Durations[si] = durs
+	}
+	if err := out.buildOccIndex(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -357,7 +533,9 @@ func (db *CoincDB) FilterInfrequent(minCount int) int {
 		outSlices := seq.Slices[:0]
 		outDurs := db.Durations[si][:0]
 		for ci, sl := range seq.Slices {
-			items := make([]Item, 0, len(sl.Items))
+			// In-place compaction, same as the endpoint filter: writes
+			// trail reads within each slice's own backing segment.
+			items := sl.Items[:0]
 			for _, it := range sl.Items {
 				if keep[it] {
 					items = append(items, it)
@@ -371,6 +549,11 @@ func (db *CoincDB) FilterInfrequent(minCount int) int {
 		}
 		seq.Slices = outSlices
 		db.Durations[si] = outDurs
+	}
+	// Slice indices shifted; rebuild the posting lists. The width cannot
+	// have grown, so the size check cannot fail.
+	if err := db.buildOccIndex(); err != nil {
+		panic(err)
 	}
 	return removed
 }

@@ -52,19 +52,28 @@ func TestEncodeEndpointDB(t *testing.T) {
 		}
 	}
 	// Position index agrees with the slices.
+	if enc.Pos.Width() != enc.Table.Len() {
+		t.Fatalf("Pos width = %d, want %d", enc.Pos.Width(), enc.Table.Len())
+	}
 	for si, seq := range enc.Seqs {
 		n := 0
 		for ci, sl := range seq.Slices {
 			for ii, it := range sl.Items {
-				loc, ok := enc.Pos[si][it]
-				if !ok || loc.Slice != int32(ci) || loc.Idx != int32(ii) {
-					t.Fatalf("Pos[%d][%v] = %v,%v; want (%d,%d)", si, it, loc, ok, ci, ii)
+				loc := enc.Pos.At(int32(si), it)
+				if loc.Slice != int32(ci) || loc.Idx != int32(ii) {
+					t.Fatalf("Pos.At(%d,%v) = %v; want (%d,%d)", si, it, loc, ci, ii)
 				}
 				n++
 			}
 		}
-		if n != len(enc.Pos[si]) {
-			t.Fatalf("Pos[%d] has %d entries, slices hold %d items", si, len(enc.Pos[si]), n)
+		present := 0
+		for _, loc := range enc.Pos.Row(int32(si)) {
+			if loc.Slice >= 0 {
+				present++
+			}
+		}
+		if n != present {
+			t.Fatalf("Pos row %d has %d present entries, slices hold %d items", si, present, n)
 		}
 	}
 }
@@ -113,11 +122,20 @@ func TestFilterInfrequent(t *testing.T) {
 				}
 			}
 		}
-		// Position index rebuilt consistently.
-		for it, loc := range enc.Pos[si] {
-			if enc.Seqs[si].Slices[loc.Slice].Items[loc.Idx] != it {
+		// Position index rebuilt consistently: every present entry points
+		// at its item, and every surviving item is indexed.
+		kept := 0
+		for it, loc := range enc.Pos.Row(int32(si)) {
+			if loc.Slice < 0 {
+				continue
+			}
+			kept++
+			if enc.Seqs[si].Slices[loc.Slice].Items[loc.Idx] != Item(it) {
 				t.Fatalf("stale position index after filtering")
 			}
+		}
+		if kept != seq.NumItems() {
+			t.Fatalf("Pos row %d has %d present entries after filter, slices hold %d", si, kept, seq.NumItems())
 		}
 	}
 	// Filtering again removes nothing.
@@ -146,6 +164,38 @@ func TestEncodeCoincidenceDB(t *testing.T) {
 			t.Fatalf("durations misaligned for seq %d", si)
 		}
 	}
+	checkOccIndex(t, enc)
+}
+
+// checkOccIndex verifies the posting lists against a direct scan of the
+// slices: every (sequence, item) pair lists exactly the ascending slice
+// indices containing the item.
+func checkOccIndex(t *testing.T, enc *CoincDB) {
+	t.Helper()
+	if enc.Occ.Width() != enc.Table.Len() {
+		t.Fatalf("Occ width = %d, want %d", enc.Occ.Width(), enc.Table.Len())
+	}
+	for si := range enc.Seqs {
+		for it := 0; it < enc.Table.Len(); it++ {
+			var want []int32
+			for ci, sl := range enc.Seqs[si].Slices {
+				for _, x := range sl.Items {
+					if x == Item(it) {
+						want = append(want, int32(ci))
+					}
+				}
+			}
+			got := enc.Occ.Slices(int32(si), Item(it))
+			if len(got) != len(want) {
+				t.Fatalf("Occ.Slices(%d,%d) = %v, want %v", si, it, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Occ.Slices(%d,%d) = %v, want %v", si, it, got, want)
+				}
+			}
+		}
+	}
 }
 
 func TestCoincFilterInfrequent(t *testing.T) {
@@ -167,6 +217,7 @@ func TestCoincFilterInfrequent(t *testing.T) {
 			}
 		}
 	}
+	checkOccIndex(t, enc)
 }
 
 func TestTables(t *testing.T) {

@@ -80,6 +80,13 @@ type Config struct {
 	// MaxBodyBytes caps request bodies; larger bodies are rejected with
 	// 413. 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+
+	// MaxParallel is the ceiling on per-request mining parallelism:
+	// requests may ask for worker goroutines via the mine request's
+	// "parallel" field, capped at this value — like timeout_ms, a
+	// request can spend less than the ceiling, never more. 0 means
+	// GOMAXPROCS.
+	MaxParallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -398,10 +408,20 @@ type MineRequest struct {
 	TimeoutMillis    int64 `json:"timeout_ms,omitempty"`
 	TimeBudgetMillis int64 `json:"time_budget_ms,omitempty"`
 	MaxPatterns      int   `json:"max_patterns,omitempty"`
+	// Parallel requests worker goroutines for the search, capped at the
+	// server's MaxParallel ceiling. Absent or 0 mines serially.
+	Parallel int `json:"parallel,omitempty"`
 }
 
-func (req MineRequest) options() core.Options {
+// options converts the request to miner options, capping the requested
+// parallelism at the server ceiling.
+func (req MineRequest) options(maxParallel int) core.Options {
+	par := req.Parallel
+	if par > maxParallel {
+		par = maxParallel
+	}
 	return core.Options{
+		Parallel:           par,
 		MinSupport:         req.MinSupport,
 		MinCount:           req.MinCount,
 		MaxIntervals:       req.MaxIntervals,
@@ -490,9 +510,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			err error
 		)
 		if req.TopK > 0 {
-			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options())
+			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
 		} else {
-			rs, st, err = core.MineTemporalCtx(ctx, db, req.options())
+			rs, st, err = core.MineTemporalCtx(ctx, db, req.options(s.cfg.MaxParallel))
 		}
 		if err == nil {
 			switch req.Filter {
@@ -521,9 +541,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			err error
 		)
 		if req.TopK > 0 {
-			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options())
+			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
 		} else {
-			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.options())
+			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.options(s.cfg.MaxParallel))
 		}
 		if err == nil {
 			switch req.Filter {

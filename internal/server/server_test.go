@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -167,6 +168,60 @@ func TestMineVariants(t *testing.T) {
 	}
 	if strings.Contains(body, `"pattern":"A+ A-"`) {
 		t.Errorf("maximal kept subsumed pattern: %q", body)
+	}
+}
+
+// TestMineParallelField: the "parallel" request field is honored —
+// results match a serial mine exactly — and the server ceiling caps it
+// rather than rejecting the request, mirroring timeout_ms semantics.
+func TestMineParallelField(t *testing.T) {
+	srv := NewWithConfig(nil, Config{MaxConcurrentMines: 32, MaxParallel: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	do(t, "PUT", ts.URL+"/datasets/demo", "text/csv", csvBody)
+
+	_, serialBody := do(t, "POST", ts.URL+"/datasets/demo/mine", "application/json",
+		`{"min_count":2}`)
+	var serial MineResponse
+	if err := json.Unmarshal([]byte(serialBody), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []string{
+		`{"min_count":2,"parallel":2}`,
+		`{"min_count":2,"parallel":64}`, // above the ceiling: capped, not rejected
+	} {
+		resp, body := do(t, "POST", ts.URL+"/datasets/demo/mine", "application/json", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallel mine %s: %d %q", req, resp.StatusCode, body)
+		}
+		var par MineResponse
+		if err := json.Unmarshal([]byte(body), &par); err != nil {
+			t.Fatal(err)
+		}
+		if par.Count != serial.Count || !reflect.DeepEqual(par.Patterns, serial.Patterns) {
+			t.Errorf("parallel mine %s differs from serial:\n%+v\nvs\n%+v", req, par.Patterns, serial.Patterns)
+		}
+	}
+
+	// Negative worker counts are invalid options.
+	resp, body := do(t, "POST", ts.URL+"/datasets/demo/mine", "application/json",
+		`{"min_count":2,"parallel":-1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallel: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestMineRequestParallelCap: the option conversion clamps at the
+// configured ceiling.
+func TestMineRequestParallelCap(t *testing.T) {
+	cases := []struct{ req, ceil, want int }{
+		{0, 4, 0}, {3, 4, 3}, {4, 4, 4}, {9, 4, 4},
+	}
+	for _, c := range cases {
+		opt := MineRequest{MinCount: 1, Parallel: c.req}.options(c.ceil)
+		if opt.Parallel != c.want {
+			t.Errorf("options(%d) with ceiling %d: Parallel = %d, want %d", c.req, c.ceil, opt.Parallel, c.want)
+		}
 	}
 }
 
