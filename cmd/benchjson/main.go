@@ -93,6 +93,7 @@ func run(args []string) error {
 	out := fs.String("o", "BENCH_core.json", "output file")
 	baselinePath := fs.String("baseline", "bench/baseline.json", "baseline numbers to compute speedups against")
 	benchtime := fs.String("benchtime", "20x", "benchtime for the workload benchmarks")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail (exit non-zero) if min_workload_speedup drops below this; 0 disables the gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,6 +178,13 @@ func run(args []string) error {
 			rep.BaselineCommit, rep.MinWorkloadSpeedup, rep.MinFig1aSpeedup)
 	}
 	fmt.Println(")")
+
+	// The regression gate only fires when a baseline supplied speedups:
+	// on a tree without bench/baseline.json there is nothing to compare.
+	if *minSpeedup > 0 && rep.MinWorkloadSpeedup > 0 && rep.MinWorkloadSpeedup < *minSpeedup {
+		return fmt.Errorf("min workload speedup %.2fx below required %.2fx (benchmark regression vs %s)",
+			rep.MinWorkloadSpeedup, *minSpeedup, rep.BaselineCommit)
+	}
 	return nil
 }
 

@@ -16,6 +16,11 @@
 // accepting connections and drains in-flight requests — mining jobs
 // finish within their deadline — for up to -grace before exiting.
 //
+// Observability: GET /metrics serves Prometheus text exposition
+// (request, mining-job, and miner-search counters; see internal/server).
+// Logs are structured via log/slog; -log-format selects text or json and
+// -log-level sets the minimum level.
+//
 // For live profiling, -pprof-addr starts a second listener serving
 // net/http/pprof (e.g. -pprof-addr localhost:6060). It is off by
 // default and should never be exposed publicly.
@@ -34,7 +39,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served only by -pprof-addr
 	"os"
@@ -42,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"tpminer/internal/obs"
 	"tpminer/internal/server"
 )
 
@@ -61,11 +66,16 @@ func run(args []string) error {
 	maxParallel := fs.Int("max-parallel", 0, "ceiling on per-request mining parallelism (0 = GOMAXPROCS)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(os.Stderr, "tpmd: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	svc := server.NewWithConfig(logger, server.Config{
 		MaxConcurrentMines: *maxMines,
 		MaxMineDuration:    *mineTimeout,
@@ -80,7 +90,7 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -95,9 +105,9 @@ func run(args []string) error {
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			logger.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
@@ -110,7 +120,7 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		logger.Printf("signal received, draining in-flight requests (up to %s)", *grace)
+		logger.Info("signal received, draining in-flight requests", "grace", grace.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if pprofSrv != nil {
@@ -122,7 +132,7 @@ func run(args []string) error {
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		logger.Printf("drained, exiting")
+		logger.Info("drained, exiting")
 		return nil
 	}
 }

@@ -317,7 +317,11 @@ func printStats(w io.Writer, enabled bool, n int, st core.Stats) {
 	if !enabled {
 		return
 	}
-	fmt.Fprintf(w, "sequences=%d mincount=%d patterns=%d nodes=%d scans=%d pruned(pair=%d postfix=%d size=%d) items_removed=%d elapsed=%s\n",
-		st.Sequences, st.MinCount, n, st.Nodes, st.CandidateScans,
-		st.PairPruned, st.PostfixPruned, st.SizePruned, st.ItemsRemoved, st.Elapsed)
+	fmt.Fprintf(w, "sequences=%d mincount=%d patterns=%d emitted=%d nodes=%d scans=%d pruned(p1_items=%d p2_pair=%d p3_postfix=%d p4_size=%d) elapsed=%s\n",
+		st.Sequences, st.MinCount, n, st.Emitted, st.Nodes, st.CandidateScans,
+		st.ItemsRemoved, st.PairPruned, st.PostfixPruned, st.SizePruned, st.Elapsed)
+	if st.JobsSpawned > 0 {
+		fmt.Fprintf(w, "sched: jobs_spawned=%d steals_taken=%d max_queue_depth=%d\n",
+			st.JobsSpawned, st.StealsTaken, st.MaxQueueDepth)
+	}
 }

@@ -102,9 +102,11 @@ type coincMiner struct {
 	// see temporalMiner.projPool.
 	projPool [][]coincProjEntry
 
-	// sched and stealCutoff are set on parallel runs; see temporalMiner.
+	// sched, stealCutoff, and worker are set on parallel runs; see
+	// temporalMiner.
 	sched       *sched[coincJob]
 	stealCutoff int
+	worker      int32
 
 	// ctl is the run-wide cancellation/budget state; ops counts local
 	// work units between polls.
@@ -396,7 +398,7 @@ func (m *coincMiner) trySteal(next []coincProjEntry, depth int) bool {
 	for i, el := range m.elems {
 		elems[i] = append([]seqdb.Item(nil), el...)
 	}
-	return m.sched.trySpawn(coincJob{
+	return m.sched.trySpawn(int(m.worker), coincJob{
 		elems: elems,
 		proj:  append([]coincProjEntry(nil), next...),
 		depth: depth + 1,
@@ -465,10 +467,11 @@ func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stat
 		m.topk = tk
 		m.sched = s
 		m.stealCutoff = cutoff
+		m.worker = int32(w)
 		miners[w] = m
 	}
 
-	s.trySpawn(coincJob{proj: initialCoincProjection(db), depth: 0})
+	s.trySpawn(rootSpawner, coincJob{proj: initialCoincProjection(db), depth: 0})
 	s.run(workers, func(w int, j coincJob) { miners[w].runJob(j) })
 
 	var out []pattern.CoincResult
@@ -476,5 +479,6 @@ func mineCoincParallel(db *seqdb.CoincDB, opt Options, minCount int, stats *Stat
 		stats.add(m.stats)
 		out = append(out, m.results...)
 	}
+	stats.addSched(s.counters())
 	return out
 }

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Work-stealing parallel DFS.
 //
@@ -50,11 +53,31 @@ func stealCutoffFor(opt Options, nSeqs, minCount int) int {
 	return c
 }
 
+// rootSpawner marks the run's seed job, which no worker spawned. Seeds
+// count as spawned jobs but never as steals.
+const rootSpawner = -1
+
+// spawnedJob wraps a queued subtree with the id of the worker that
+// spawned it, so the scheduler can count genuine steals (executions by a
+// different worker) rather than every queue round-trip.
+type spawnedJob[J any] struct {
+	by  int32 // spawning worker, rootSpawner for the seed
+	job J
+}
+
 // sched is the bounded shared work queue of one parallel mining run.
 // J is the subtree job type (temporalJob or coincJob).
 type sched[J any] struct {
-	jobs    chan J
+	jobs    chan spawnedJob[J]
 	pending sync.WaitGroup // outstanding (queued or running) jobs
+
+	// Observability counters, reported through Stats after the run:
+	// spawned counts accepted trySpawn offers, steals counts jobs
+	// executed by a worker other than their spawner, and maxDepth is the
+	// queue's high-water mark sampled at enqueue time.
+	spawned  atomic.Int64
+	steals   atomic.Int64
+	maxDepth atomic.Int64
 }
 
 func newSched[J any](workers int) *sched[J] {
@@ -62,17 +85,26 @@ func newSched[J any](workers int) *sched[J] {
 	if capacity < 64 {
 		capacity = 64
 	}
-	return &sched[J]{jobs: make(chan J, capacity)}
+	return &sched[J]{jobs: make(chan spawnedJob[J], capacity)}
 }
 
-// trySpawn offers a job to the queue without blocking. It returns false
-// when the queue is full; the caller then recurses inline. Safe to call
-// from inside a running job: that job's own pending count keeps the
-// queue open while the new count is added.
-func (s *sched[J]) trySpawn(j J) bool {
+// trySpawn offers a job to the queue without blocking. by is the
+// spawning worker's id (rootSpawner for the seed). It returns false when
+// the queue is full; the caller then recurses inline. Safe to call from
+// inside a running job: that job's own pending count keeps the queue
+// open while the new count is added.
+func (s *sched[J]) trySpawn(by int, j J) bool {
 	s.pending.Add(1)
 	select {
-	case s.jobs <- j:
+	case s.jobs <- spawnedJob[J]{by: int32(by), job: j}:
+		s.spawned.Add(1)
+		d := int64(len(s.jobs))
+		for {
+			cur := s.maxDepth.Load()
+			if d <= cur || s.maxDepth.CompareAndSwap(cur, d) {
+				break
+			}
+		}
 		return true
 	default:
 		s.pending.Done()
@@ -93,8 +125,11 @@ func (s *sched[J]) run(workers int, handle func(worker int, j J)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for j := range s.jobs {
-				handle(w, j)
+			for sj := range s.jobs {
+				if sj.by != rootSpawner && int(sj.by) != w {
+					s.steals.Add(1)
+				}
+				handle(w, sj.job)
 				s.pending.Done()
 			}
 		}(w)
@@ -104,4 +139,9 @@ func (s *sched[J]) run(workers int, handle func(worker int, j J)) {
 		close(s.jobs)
 	}()
 	wg.Wait()
+}
+
+// counters returns the run's scheduler counters for Stats reporting.
+func (s *sched[J]) counters() (spawned, steals, maxDepth int64) {
+	return s.spawned.Load(), s.steals.Load(), s.maxDepth.Load()
 }

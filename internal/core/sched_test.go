@@ -59,11 +59,11 @@ func TestSchedRunsAllJobs(t *testing.T) {
 	s := newSched[int](4)
 	var handled atomic.Int64
 	var inlined atomic.Int64
-	s.trySpawn(4) // root: a depth-4 binary tree of jobs
+	s.trySpawn(rootSpawner, 4) // root: a depth-4 binary tree of jobs
 	s.run(4, func(w int, depth int) {
 		handled.Add(1)
 		for child := 0; child < 2 && depth > 0; child++ {
-			if !s.trySpawn(depth - 1) {
+			if !s.trySpawn(w, depth-1) {
 				inlined.Add(1) // queue full: a real miner would recurse inline
 			}
 		}
@@ -79,7 +79,7 @@ func TestSchedRunsAllJobs(t *testing.T) {
 func TestSchedTrySpawnFull(t *testing.T) {
 	s := newSched[int](1) // capacity 64
 	n := 0
-	for s.trySpawn(n) {
+	for s.trySpawn(rootSpawner, n) {
 		n++
 		if n > 1000 {
 			t.Fatal("trySpawn never reported full")
@@ -93,6 +93,83 @@ func TestSchedTrySpawnFull(t *testing.T) {
 	}
 	// Drain so the pending counts resolve.
 	s.run(1, func(int, int) {})
+
+	// Counters: every accepted spawn counted, the high-water mark is the
+	// full queue, and a single worker draining seeds takes no steals.
+	spawned, steals, maxDepth := s.counters()
+	if spawned != int64(n) {
+		t.Errorf("spawned = %d, want %d", spawned, n)
+	}
+	if steals != 0 {
+		t.Errorf("steals = %d, want 0 (all jobs were root seeds)", steals)
+	}
+	if maxDepth != int64(cap(s.jobs)) {
+		t.Errorf("maxDepth = %d, want %d", maxDepth, cap(s.jobs))
+	}
+}
+
+// TestSchedCounters: jobs a worker spawns and another worker executes
+// count as steals; jobs executed by their spawner do not.
+func TestSchedCounters(t *testing.T) {
+	s := newSched[int](2)
+	var handled atomic.Int64
+	s.trySpawn(rootSpawner, 3)
+	s.run(2, func(w int, depth int) {
+		handled.Add(1)
+		for child := 0; child < 2 && depth > 0; child++ {
+			s.trySpawn(w, depth-1)
+		}
+	})
+	spawned, steals, maxDepth := s.counters()
+	if spawned != handled.Load() {
+		t.Errorf("spawned = %d, handled = %d; every accepted job must run exactly once",
+			spawned, handled.Load())
+	}
+	if steals < 0 || steals > spawned {
+		t.Errorf("steals = %d outside [0, %d]", steals, spawned)
+	}
+	if maxDepth < 1 {
+		t.Errorf("maxDepth = %d, want >= 1", maxDepth)
+	}
+}
+
+// TestForcedStealSchedulerStats: a forced-steal parallel mine reports
+// scheduler counters through Stats, and a serial mine reports zeros.
+func TestForcedStealSchedulerStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := schedRandomDB(rng, 20, 6, 4, 30)
+
+	_, serial, err := MineTemporal(db, Options{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.JobsSpawned != 0 || serial.StealsTaken != 0 || serial.MaxQueueDepth != 0 {
+		t.Errorf("serial run has scheduler stats: %+v", serial)
+	}
+
+	opt := Options{MinCount: 2, Parallel: 4}
+	opt.stealCutoff = 1
+	_, par, err := MineTemporal(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.JobsSpawned < 1 {
+		t.Errorf("forced-steal run spawned %d jobs, want >= 1 (the root seed)", par.JobsSpawned)
+	}
+	if par.StealsTaken > par.JobsSpawned {
+		t.Errorf("steals %d > spawned %d", par.StealsTaken, par.JobsSpawned)
+	}
+	if par.MaxQueueDepth < 1 {
+		t.Errorf("forced-steal run max queue depth = %d, want >= 1", par.MaxQueueDepth)
+	}
+
+	_, parC, err := MineCoincidence(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parC.JobsSpawned < 1 || parC.MaxQueueDepth < 1 {
+		t.Errorf("coincidence forced-steal scheduler stats: %+v", parC)
+	}
 }
 
 // schedRandomDB builds a random interval database for the white-box

@@ -132,9 +132,12 @@ type temporalMiner struct {
 
 	// sched and stealCutoff are set on parallel runs: subtrees whose
 	// projected database reaches the cutoff are offered to the shared
-	// queue instead of being recursed into.
+	// queue instead of being recursed into. worker is this miner's index
+	// in the pool, recorded on spawned jobs so the scheduler can count
+	// steals.
 	sched       *sched[temporalJob]
 	stealCutoff int
+	worker      int32
 
 	// topk, when non-nil, raises minCount dynamically (top-k mining).
 	topk *topKState
@@ -460,7 +463,7 @@ func (m *temporalMiner) trySteal(next []projEntry, depth int) bool {
 	for i, el := range m.elems {
 		elems[i] = append([]seqdb.Item(nil), el...)
 	}
-	return m.sched.trySpawn(temporalJob{
+	return m.sched.trySpawn(int(m.worker), temporalJob{
 		elems:      elems,
 		open:       append([]openInterval(nil), m.open...),
 		nIntervals: m.nIntervals,
@@ -509,7 +512,7 @@ func (m *temporalMiner) emit(proj []projEntry) {
 func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats *Stats, ctl *runControl, tk *topKState) []pattern.TemporalResult {
 	workers := opt.Parallel
 	s := newSched[temporalJob](workers)
-	s.trySpawn(temporalJob{proj: initialTemporalProjection(db), depth: 0})
+	s.trySpawn(rootSpawner, temporalJob{proj: initialTemporalProjection(db), depth: 0})
 
 	cutoff := stealCutoffFor(opt, len(db.Seqs), minCount)
 	miners := make([]*temporalMiner, workers)
@@ -518,6 +521,7 @@ func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats
 		m.topk = tk
 		m.sched = s
 		m.stealCutoff = cutoff
+		m.worker = int32(w)
 		miners[w] = m
 	}
 	s.run(workers, func(w int, j temporalJob) { miners[w].runJob(j) })
@@ -527,5 +531,6 @@ func mineTemporalParallel(db *seqdb.EndpointDB, opt Options, minCount int, stats
 		stats.add(m.stats)
 		out = append(out, m.results...)
 	}
+	stats.addSched(s.counters())
 	return out
 }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a *slog.Logger writing structured records to w.
+// format is "text" (logfmt-style key=value, the default) or "json" (one
+// JSON object per line, the shape log shippers expect); level is one of
+// "debug", "info", "warn", "error" ("" means info). Every record carries
+// the standard time/level/msg fields plus whatever attributes the call
+// site attaches (tpmd attaches request_id, route, status, duration_ms,
+// ...).
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// Discard returns a logger that drops every record without formatting
+// it — the nil-logger replacement for tests and for embedders that do
+// not want logging.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// discardHandler is a no-op slog.Handler. Enabled reports false, so call
+// sites skip building attributes entirely.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

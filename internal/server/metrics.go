@@ -1,0 +1,158 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"tpminer/internal/core"
+	"tpminer/internal/obs"
+)
+
+// serverMetrics is the server's instrumentation surface, all registered
+// on one obs.Registry served at GET /metrics. Three groups:
+//
+//   - tpmd_http_*: per-route request counters and latency histograms
+//     recorded by the middleware for every request, plus in-flight and
+//     backpressure (429) counters.
+//   - tpmd_mine_*: mining-job telemetry — runs by type and outcome,
+//     truncations by cause, deadline aborts, and the job-duration
+//     histogram that also drives the 429 Retry-After hint.
+//   - tpmd_miner_*: the search's own counters aggregated across runs —
+//     nodes, candidate scans, the paper's P1–P4 prunings, and the
+//     work-stealing scheduler's spawn/steal/queue-depth numbers.
+type serverMetrics struct {
+	reqTotal  *obs.CounterVec // route, class
+	reqDur    *obs.HistogramVec
+	reqBytes  *obs.CounterVec
+	inFlight  *obs.Gauge
+	throttled *obs.Counter
+
+	mineRuns      *obs.CounterVec // type, outcome
+	mineTruncated *obs.CounterVec // cause
+	mineDeadline  *obs.Counter
+	mineDur       *obs.Histogram
+
+	minerNodes    *obs.Counter
+	minerScans    *obs.Counter
+	minerEmitted  *obs.Counter
+	minerPruned   *obs.CounterVec // technique: p1..p4
+	schedSpawned  *obs.Counter
+	schedSteals   *obs.Counter
+	schedMaxQueue *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reqTotal: reg.NewCounterVec("tpmd_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "class"),
+		reqDur: reg.NewHistogramVec("tpmd_http_request_duration_seconds",
+			"HTTP request latency by route.", nil, "route"),
+		reqBytes: reg.NewCounterVec("tpmd_http_response_bytes_total",
+			"Response body bytes written, by route.", "route"),
+		inFlight: reg.NewGauge("tpmd_http_requests_in_flight",
+			"Requests currently being handled."),
+		throttled: reg.NewCounter("tpmd_http_throttled_total",
+			"Requests rejected with 429 because every mining slot was busy."),
+
+		mineRuns: reg.NewCounterVec("tpmd_mine_runs_total",
+			"Mining jobs by pattern type and outcome (ok, truncated, deadline, canceled, invalid).",
+			"type", "outcome"),
+		mineTruncated: reg.NewCounterVec("tpmd_mine_truncated_total",
+			"Mining jobs cut short by a soft budget, by cause.", "cause"),
+		mineDeadline: reg.NewCounter("tpmd_mine_deadline_aborts_total",
+			"Mining jobs aborted by the hard deadline (504s)."),
+		mineDur: reg.NewHistogram("tpmd_mine_duration_seconds",
+			"Mining job wall time; the recent shape of this histogram drives the 429 Retry-After hint.", nil),
+
+		minerNodes: reg.NewCounter("tpmd_miner_nodes_total",
+			"Search-tree nodes explored across all mining runs."),
+		minerScans: reg.NewCounter("tpmd_miner_candidate_scans_total",
+			"Projected-sequence scans performed while counting extension candidates."),
+		minerEmitted: reg.NewCounter("tpmd_miner_patterns_emitted_total",
+			"Patterns emitted by the search before normalization/merging."),
+		minerPruned: reg.NewCounterVec("tpmd_miner_pruned_total",
+			"Search space cut by the paper's pruning techniques: p1 items removed, p2 pairs, p3 postfixes, p4 undersized projections.",
+			"technique"),
+		schedSpawned: reg.NewCounter("tpmd_miner_sched_jobs_spawned_total",
+			"Subtree jobs offered to the work-stealing queue by parallel runs."),
+		schedSteals: reg.NewCounter("tpmd_miner_sched_steals_total",
+			"Subtree jobs executed by a worker other than their spawner."),
+		schedMaxQueue: reg.NewGauge("tpmd_miner_sched_max_queue_depth",
+			"High-water mark of the work-stealing queue across all runs."),
+	}
+}
+
+// recordMinerStats folds one finished run's search counters into the
+// cumulative miner metrics.
+func (m *serverMetrics) recordMinerStats(st core.Stats) {
+	m.minerNodes.Add(uint64(st.Nodes))
+	m.minerScans.Add(uint64(st.CandidateScans))
+	m.minerEmitted.Add(uint64(st.Emitted))
+	m.minerPruned.With("p1").Add(uint64(st.ItemsRemoved))
+	m.minerPruned.With("p2").Add(uint64(st.PairPruned))
+	m.minerPruned.With("p3").Add(uint64(st.PostfixPruned))
+	m.minerPruned.With("p4").Add(uint64(st.SizePruned))
+	m.schedSpawned.Add(uint64(st.JobsSpawned))
+	m.schedSteals.Add(uint64(st.StealsTaken))
+	m.schedMaxQueue.SetMax(st.MaxQueueDepth)
+}
+
+// routeLabel maps a request path onto its route pattern so metric
+// cardinality stays bounded no matter what dataset names clients send.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics", "/datasets":
+		return p
+	}
+	if rest, ok := strings.CutPrefix(p, "/datasets/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch suffix := rest[i:]; suffix {
+			case "/mine", "/rules", "/append":
+				return "/datasets/{name}" + suffix
+			}
+			return "other"
+		}
+		return "/datasets/{name}"
+	}
+	return "other"
+}
+
+// statusClass buckets a status code into "2xx".."5xx" for the low-
+// cardinality class label.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusWriter records the status code and body bytes a handler wrote,
+// so the middleware can label metrics and logs after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}

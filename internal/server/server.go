@@ -16,6 +16,7 @@
 //	                                     patterns with supports
 //	POST   /datasets/{name}/rules        body: RulesRequest; returns
 //	                                     temporal association rules
+//	GET    /metrics                      Prometheus text exposition
 //
 // # Operational hardening
 //
@@ -28,7 +29,20 @@
 // optionally lowered per request via timeout_ms) and aborts with 504,
 // and requests may trade completeness for latency with time_budget_ms /
 // max_patterns, which return partial results flagged truncated.
-// Oversized bodies are rejected with 413.
+// Oversized bodies are rejected with 413. Request fields are validated
+// up front: negative budgets, limits, or worker counts are rejected with
+// 400 before a mining slot is claimed.
+//
+// # Observability
+//
+// The server logs structured records via log/slog (one "request" record
+// per request with route, status, duration, and request ID) and exposes
+// a Prometheus registry at GET /metrics: per-route request counters and
+// latency histograms, in-flight and backpressure gauges, mining-run
+// outcomes, and the miner's own node/scan/P1–P4-pruning/work-stealing
+// counters. The Retry-After hint on 429 responses is derived from the
+// observed mine-duration histogram. See internal/server/metrics.go for
+// the metric inventory.
 package server
 
 import (
@@ -37,11 +51,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +66,7 @@ import (
 	"tpminer/internal/core"
 	"tpminer/internal/dataio"
 	"tpminer/internal/interval"
+	"tpminer/internal/obs"
 	"tpminer/internal/pattern"
 	"tpminer/internal/rules"
 )
@@ -110,41 +127,61 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*interval.Database
-	logger   *log.Logger
+	logger   *slog.Logger
 	cfg      Config
+
+	// reg and met are the server's metrics registry (served at
+	// GET /metrics) and the typed handles into it.
+	reg *obs.Registry
+	met *serverMetrics
 
 	// mineSem bounds concurrent mining jobs; acquisition is
 	// non-blocking so overload turns into fast 429s instead of a queue.
 	mineSem chan struct{}
 	// reqSeq numbers generated request IDs.
 	reqSeq atomic.Uint64
+
+	// testMineHook, when set by a test, runs inside the mine handler
+	// after the semaphore slot is claimed — the hook point for failure
+	// injection (panics mid-job).
+	testMineHook func()
 }
 
 // New creates an empty server with default resource bounds. logger may
 // be nil (logging disabled).
-func New(logger *log.Logger) *Server {
+func New(logger *slog.Logger) *Server {
 	return NewWithConfig(logger, Config{})
 }
 
 // NewWithConfig creates an empty server with explicit resource bounds.
-func NewWithConfig(logger *log.Logger, cfg Config) *Server {
+// logger may be nil (logging disabled).
+func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = obs.Discard()
 	}
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	return &Server{
 		datasets: make(map[string]*interval.Database),
 		logger:   logger,
 		cfg:      cfg,
+		reg:      reg,
+		met:      newServerMetrics(reg),
 		mineSem:  make(chan struct{}, cfg.MaxConcurrentMines),
 	}
 }
+
+// Registry returns the server's metrics registry, the same one Handler
+// serves at GET /metrics. Embedders may register their own metrics on
+// it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the route table wrapped in the request-ID and
 // panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /datasets", s.handleList)
 	mux.HandleFunc("PUT /datasets/{name}", s.handlePut)
 	mux.HandleFunc("GET /datasets/{name}", s.handleGet)
@@ -167,9 +204,10 @@ func requestID(r *http.Request) string {
 }
 
 // middleware assigns every request an ID (honoring a client-supplied
-// X-Request-ID) and converts handler panics into structured 500s. The
-// ID is set on the response header before the handler runs, so even
-// error and panic responses carry it.
+// X-Request-ID), converts handler panics into structured 500s, and
+// records the per-request metrics and the structured access log. The ID
+// is set on the response header before the handler runs, so even error
+// and panic responses carry it.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -178,18 +216,40 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", id)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.met.inFlight.Inc()
 		defer func() {
 			if p := recover(); p != nil {
-				s.logger.Printf("server: [%s] panic in %s %s: %v\n%s",
-					id, r.Method, r.URL.Path, p, debug.Stack())
+				s.logger.Error("panic recovered",
+					"request_id", id, "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				// If the handler already started the response this
 				// write is a no-op on the status; the log above is the
 				// record either way.
-				s.writeJSON(w, http.StatusInternalServerError,
+				s.writeJSON(sw, http.StatusInternalServerError,
 					errorBody{Error: "internal server error", RequestID: id})
 			}
+			s.met.inFlight.Dec()
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			route := routeLabel(r)
+			dur := time.Since(start)
+			s.met.reqTotal.With(route, statusClass(status)).Inc()
+			s.met.reqDur.With(route).Observe(dur.Seconds())
+			s.met.reqBytes.With(route).Add(uint64(sw.bytes))
+			if status == http.StatusTooManyRequests {
+				s.met.throttled.Inc()
+			}
+			s.logger.Info("request",
+				"request_id", id, "method", r.Method, "route", route,
+				"path", r.URL.Path, "status", status,
+				"duration_ms", dur.Milliseconds(), "bytes", sw.bytes)
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 	})
 }
 
@@ -203,7 +263,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logger.Printf("server: encode response: %v", err)
+		s.logger.Error("encode response failed", "error", err)
 	}
 }
 
@@ -218,7 +278,9 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	}
 	id := requestID(r)
 	if status >= 500 || status == http.StatusTooManyRequests {
-		s.logger.Printf("server: [%s] %s %s -> %d: %v", id, r.Method, r.URL.Path, status, err)
+		s.logger.Warn("request failed",
+			"request_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", status, "error", err.Error())
 	}
 	s.writeJSON(w, status, errorBody{Error: err.Error(), RequestID: id})
 }
@@ -290,7 +352,8 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	_, existed := s.datasets[name]
 	s.datasets[name] = db
 	s.mu.Unlock()
-	s.logger.Printf("server: [%s] put dataset %q (%d sequences)", requestID(r), name, db.Len())
+	s.logger.Info("dataset stored",
+		"request_id", requestID(r), "dataset", name, "sequences", db.Len())
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -351,11 +414,39 @@ func (s *Server) acquireMineSlot(w http.ResponseWriter, r *http.Request) (releas
 	case s.mineSem <- struct{}{}:
 		return func() { <-s.mineSem }, true
 	default:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.writeError(w, r, http.StatusTooManyRequests,
 			fmt.Errorf("all %d mining slots busy; retry later", cap(s.mineSem)))
 		return nil, false
 	}
+}
+
+// Bounds on the derived Retry-After hint: at least one second (clients
+// should never hot-loop), at most thirty (mining slots churn within the
+// 60s default deadline; suggesting more than half a minute just parks
+// well-behaved clients).
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
+
+// retryAfterSeconds derives the 429 Retry-After hint from the observed
+// mine-duration histogram: the median job duration is how long a busy
+// slot typically takes to free up. With no completed jobs yet it falls
+// back to the floor, and it never suggests more than the server's own
+// deadline — a slot is guaranteed free by then.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(math.Ceil(s.met.mineDur.Quantile(0.5)))
+	if secs < minRetryAfterSeconds {
+		secs = minRetryAfterSeconds
+	}
+	if max := int(s.cfg.MaxMineDuration / time.Second); max >= minRetryAfterSeconds && secs > max {
+		secs = max
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
 }
 
 // mineContext derives the mining context for one job: the request
@@ -380,7 +471,8 @@ func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err erro
 			errors.New("mining exceeded its deadline; lower min support, add constraints, or raise timeout_ms"))
 	case errors.Is(err, context.Canceled):
 		// The client went away; there is nobody to respond to.
-		s.logger.Printf("server: [%s] %s %s abandoned by client", requestID(r), r.Method, r.URL.Path)
+		s.logger.Info("mine abandoned by client",
+			"request_id", requestID(r), "method", r.Method, "path", r.URL.Path)
 	default:
 		s.writeError(w, r, http.StatusBadRequest, err)
 	}
@@ -411,6 +503,37 @@ type MineRequest struct {
 	// Parallel requests worker goroutines for the search, capped at the
 	// server's MaxParallel ceiling. Absent or 0 mines serially.
 	Parallel int `json:"parallel,omitempty"`
+}
+
+// validate rejects malformed requests up front — before a mining slot
+// is claimed — so garbage input can never occupy a slot or flow into
+// core.Options unchecked (a negative TimeBudgetMillis used to do exactly
+// that). Each violation names the offending JSON field.
+func (req MineRequest) validate() error {
+	if req.MinSupport < 0 || req.MinSupport > 1 {
+		return fmt.Errorf("min_support %v outside [0,1]", req.MinSupport)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"min_count", int64(req.MinCount)},
+		{"max_intervals", int64(req.MaxIntervals)},
+		{"max_elements", int64(req.MaxElements)},
+		{"max_items_per_element", int64(req.MaxItemsPerElement)},
+		{"max_span", req.MaxSpan},
+		{"max_gap", req.MaxGap},
+		{"top_k", int64(req.TopK)},
+		{"timeout_ms", req.TimeoutMillis},
+		{"time_budget_ms", req.TimeBudgetMillis},
+		{"max_patterns", int64(req.MaxPatterns)},
+		{"parallel", int64(req.Parallel)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must not be negative, got %d", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // options converts the request to miner options, capping the requested
@@ -450,23 +573,72 @@ type MineResponse struct {
 	Stats    MineStats      `json:"stats"`
 }
 
-// MineStats is the wire form of the search counters.
+// MineStats is the wire form of the search counters: the full pruning
+// breakdown (P1 items_removed, P2 pair_pruned, P3 postfix_pruned, P4
+// size_pruned) and, on parallel runs, the work-stealing scheduler's
+// counters.
 type MineStats struct {
-	Sequences      int    `json:"sequences"`
-	MinCount       int    `json:"min_count"`
-	Nodes          int64  `json:"nodes"`
-	CandidateScans int64  `json:"candidate_scans"`
-	ElapsedMillis  string `json:"elapsed"`
+	Sequences      int   `json:"sequences"`
+	MinCount       int   `json:"min_count"`
+	Nodes          int64 `json:"nodes"`
+	Emitted        int64 `json:"emitted"`
+	CandidateScans int64 `json:"candidate_scans"`
+	ItemsRemoved   int   `json:"items_removed"`  // P1
+	PairPruned     int64 `json:"pair_pruned"`    // P2
+	PostfixPruned  int64 `json:"postfix_pruned"` // P3
+	SizePruned     int64 `json:"size_pruned"`    // P4
+	// Scheduler counters, present only on parallel runs.
+	JobsSpawned   int64 `json:"jobs_spawned,omitempty"`
+	StealsTaken   int64 `json:"steals_taken,omitempty"`
+	MaxQueueDepth int64 `json:"max_queue_depth,omitempty"`
+	// ElapsedMillis is the run's wall time in integer milliseconds.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+	// Elapsed is the same duration as a Go duration string.
+	//
+	// Deprecated: the legacy "elapsed" key predates elapsed_ms and held
+	// a duration string under a name that suggested a millisecond
+	// integer. It is kept for wire compatibility; new clients should
+	// read elapsed_ms. It will be dropped in a future API version.
+	Elapsed string `json:"elapsed"`
 	// Truncated marks a run cut short by a soft budget; TruncatedBy is
 	// "max_patterns" or "time_budget".
 	Truncated   bool   `json:"truncated,omitempty"`
 	TruncatedBy string `json:"truncated_by,omitempty"`
 }
 
+// recordMineRun folds one finished mining job into the metrics: its
+// outcome (by pattern type), truncation cause, duration, and the
+// search's own counters. Called for every job that ran, successful or
+// not.
+func (s *Server) recordMineRun(ptype string, st core.Stats, dur time.Duration, err error) {
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = "deadline"
+		s.met.mineDeadline.Inc()
+	case errors.Is(err, context.Canceled):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "invalid"
+	case st.Truncated:
+		outcome = "truncated"
+	}
+	s.met.mineRuns.With(ptype, outcome).Inc()
+	if st.Truncated && st.TruncatedBy != "" {
+		s.met.mineTruncated.With(st.TruncatedBy).Inc()
+	}
+	s.met.mineDur.Observe(dur.Seconds())
+	s.met.recordMinerStats(st)
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req MineRequest
 	if err := s.decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -498,9 +670,13 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if s.testMineHook != nil {
+		s.testMineHook()
+	}
 	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
 	defer cancel()
 
+	mineStart := time.Now()
 	resp := MineResponse{Dataset: name, Type: ptype}
 	switch ptype {
 	case "temporal":
@@ -522,6 +698,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 				rs, err = core.FilterMaximalCtx(ctx, rs)
 			}
 		}
+		s.recordMineRun(ptype, st, time.Since(mineStart), err)
 		if err != nil {
 			s.writeMineError(w, r, err)
 			return
@@ -553,6 +730,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 				rs, err = core.FilterMaximalCoincCtx(ctx, rs)
 			}
 		}
+		s.recordMineRun(ptype, st, time.Since(mineStart), err)
 		if err != nil {
 			s.writeMineError(w, r, err)
 			return
@@ -582,6 +760,29 @@ type RulesRequest struct {
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
+// validate rejects malformed rules requests with the offending field
+// named; see MineRequest.validate.
+func (req RulesRequest) validate() error {
+	if req.MinSupport < 0 || req.MinSupport > 1 {
+		return fmt.Errorf("min_support %v outside [0,1]", req.MinSupport)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"min_count", float64(req.MinCount)},
+		{"max_intervals", float64(req.MaxIntervals)},
+		{"min_confidence", req.MinConfidence},
+		{"min_lift", req.MinLift},
+		{"timeout_ms", float64(req.TimeoutMillis)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must not be negative, got %v", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 // WireRule is one derived rule on the wire.
 type WireRule struct {
 	Antecedent string  `json:"antecedent"`
@@ -596,6 +797,10 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req RulesRequest
 	if err := s.decodeJSONBody(r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -618,7 +823,9 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		MinCount:     req.MinCount,
 		MaxIntervals: req.MaxIntervals,
 	}
-	rs, _, err := core.MineTemporalCtx(ctx, db, opt)
+	mineStart := time.Now()
+	rs, st, err := core.MineTemporalCtx(ctx, db, opt)
+	s.recordMineRun("rules", st, time.Since(mineStart), err)
 	if err != nil {
 		s.writeMineError(w, r, err)
 		return
@@ -677,8 +884,17 @@ func wireStats(st core.Stats) MineStats {
 		Sequences:      st.Sequences,
 		MinCount:       st.MinCount,
 		Nodes:          st.Nodes,
+		Emitted:        st.Emitted,
 		CandidateScans: st.CandidateScans,
-		ElapsedMillis:  st.Elapsed.String(),
+		ItemsRemoved:   st.ItemsRemoved,
+		PairPruned:     st.PairPruned,
+		PostfixPruned:  st.PostfixPruned,
+		SizePruned:     st.SizePruned,
+		JobsSpawned:    st.JobsSpawned,
+		StealsTaken:    st.StealsTaken,
+		MaxQueueDepth:  st.MaxQueueDepth,
+		ElapsedMillis:  st.Elapsed.Milliseconds(),
+		Elapsed:        st.Elapsed.String(),
 		Truncated:      st.Truncated,
 		TruncatedBy:    st.TruncatedBy,
 	}
