@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench bench-all
+.PHONY: build vet test race contract verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Route contract: every route the server serves must be documented in
+# the README API reference table (and actually resolve on the mux).
+contract:
+	$(GO) test ./internal/server -run 'TestRoutesDocumentedInREADME|TestRouteTableIsServed'
+
 # The full pre-merge gate. vet and race cover every package, including
-# internal/obs and the instrumented server/scheduler paths.
-verify: build vet race
+# internal/obs and the instrumented server/scheduler paths; contract
+# keeps the README API table in lockstep with the served routes.
+verify: build vet race contract
 
 # Runs the Fig-1 workload and core micro-benchmarks and writes
 # BENCH_core.json with speedups against bench/baseline.json. Fails if

@@ -2,11 +2,12 @@
 //
 //	tpmd -addr :8080 -max-mines 8 -mine-timeout 30s
 //
-// Endpoints (see internal/server for the full API):
+// Endpoints, all under /v1 (see internal/server for the full API; the
+// unversioned paths remain as deprecated aliases):
 //
-//	PUT    /datasets/{name}        upload a dataset (csv/lines/json body)
-//	POST   /datasets/{name}/mine   mine patterns, JSON request/response
-//	POST   /datasets/{name}/rules  derive temporal association rules
+//	PUT    /v1/datasets/{name}        upload a dataset (csv/lines/json body)
+//	POST   /v1/datasets/{name}/mine   mine patterns, JSON request/response
+//	POST   /v1/datasets/{name}/rules  derive temporal association rules
 //
 // The server is resource-bounded: -max-mines caps concurrent mining
 // jobs (excess requests get 429), -mine-timeout is the hard per-job
@@ -16,10 +17,15 @@
 // accepting connections and drains in-flight requests — mining jobs
 // finish within their deadline — for up to -grace before exiting.
 //
-// Observability: GET /metrics serves Prometheus text exposition
-// (request, mining-job, and miner-search counters; see internal/server).
-// Logs are structured via log/slog; -log-format selects text or json and
-// -log-level sets the minimum level.
+// Complete mine/rules results are memoized in a byte-budgeted LRU and
+// concurrent identical requests collapse into one miner run
+// (single-flight); -cache-budget sizes the cache and -no-cache disables
+// both. Responses carry strong ETags and honor If-None-Match with 304.
+//
+// Observability: GET /v1/metrics serves Prometheus text exposition
+// (request, cache, mining-job, and miner-search counters; see
+// internal/server). Logs are structured via log/slog; -log-format
+// selects text or json and -log-level sets the minimum level.
 //
 // For live profiling, -pprof-addr starts a second listener serving
 // net/http/pprof (e.g. -pprof-addr localhost:6060). It is off by
@@ -29,8 +35,8 @@
 //
 //	go run ./cmd/datagen -dataset patient -size 200 -q | \
 //	    curl -sS -X PUT --data-binary @- -H 'Content-Type: text/csv' \
-//	         localhost:8080/datasets/patients
-//	curl -sS localhost:8080/datasets/patients/mine \
+//	         localhost:8080/v1/datasets/patients
+//	curl -sS localhost:8080/v1/datasets/patients/mine \
 //	     -d '{"min_support":0.15,"max_intervals":3}' | jq .
 package main
 
@@ -64,6 +70,8 @@ func run(args []string) error {
 	mineTimeout := fs.Duration("mine-timeout", server.DefaultMaxMineDuration, "hard per-job mining deadline")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	maxParallel := fs.Int("max-parallel", 0, "ceiling on per-request mining parallelism (0 = GOMAXPROCS)")
+	cacheBudget := fs.Int64("cache-budget", server.DefaultCacheBudgetBytes, "byte budget for the mine-result cache")
+	noCache := fs.Bool("no-cache", false, "disable result caching and single-flight request coalescing")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
@@ -76,11 +84,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	budget := *cacheBudget
+	if *noCache || budget <= 0 {
+		budget = -1
+	}
 	svc := server.NewWithConfig(logger, server.Config{
 		MaxConcurrentMines: *maxMines,
 		MaxMineDuration:    *mineTimeout,
 		MaxBodyBytes:       *maxBody,
 		MaxParallel:        *maxParallel,
+		CacheBudgetBytes:   budget,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,271 @@
+// Package cache memoizes mining results. P-TPMiner is deterministic for
+// a fixed (database, options) pair, so a mine over an unchanged dataset
+// is perfectly reusable: the cache stores complete results keyed by
+// (dataset name, monotonic dataset version, canonicalized options) and
+// serves repeats without touching the miner. Invalidation is exact, not
+// TTL-guessed — every mutation of a dataset bumps its version, which
+// changes the key, so a stale entry can never be served (it simply ages
+// out of the LRU).
+//
+// Two mechanisms share the package:
+//
+//   - A byte-budgeted LRU: entries carry their approximate resident
+//     size; inserting past the budget evicts from the cold end. An entry
+//     larger than the whole budget is not admitted at all.
+//   - A single-flight group: N concurrent Do calls for the same key
+//     collapse into one compute whose result fans out to all waiters.
+//     Under a thundering herd of identical requests exactly one miner
+//     run executes.
+//
+// The caller decides cacheability per result (compute returns a
+// cacheable flag): truncated or otherwise non-deterministic results must
+// never be stored, only fanned out to the waiters of that one flight.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Outcome says how a Do call was served.
+type Outcome string
+
+const (
+	// Hit: the result was already cached.
+	Hit Outcome = "hit"
+	// Miss: this call ran the compute.
+	Miss Outcome = "miss"
+	// Coalesced: another in-flight call for the same key ran the
+	// compute; this call waited and shares its result.
+	Coalesced Outcome = "coalesced"
+)
+
+// ErrComputeAborted is delivered to coalesced waiters when the leader's
+// compute panicked before producing a result. The leader itself sees the
+// panic; waiters see this error and may retry.
+var ErrComputeAborted = errors.New("cache: compute aborted by panic")
+
+// Metrics receives cache events. Implementations must be safe for
+// concurrent use. The zero behaviour (nil Metrics passed to New) is a
+// no-op sink.
+type Metrics interface {
+	Hit()
+	Miss()
+	Coalesced()
+	Evicted()
+	// Resident reports the current resident-byte total after a mutation.
+	Resident(bytes int64)
+}
+
+type nopMetrics struct{}
+
+func (nopMetrics) Hit()           {}
+func (nopMetrics) Miss()          {}
+func (nopMetrics) Coalesced()     {}
+func (nopMetrics) Evicted()       {}
+func (nopMetrics) Resident(int64) {}
+
+// Key identifies one memoizable result. Options must be a canonical
+// encoding of every result-determining option (and nothing else, so
+// requests differing only in execution knobs — timeouts, parallelism —
+// share an entry).
+type Key struct {
+	Dataset string
+	Version uint64
+	Options string
+}
+
+// entryOverhead approximates the per-entry bookkeeping cost (key
+// strings, list element, map slot) added to the caller-reported size.
+const entryOverhead = 128
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// flight is one in-progress compute; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a byte-budgeted LRU result cache fronted by a single-flight
+// group. All methods are safe for concurrent use.
+type Cache struct {
+	budget int64
+	met    Metrics
+
+	mu       sync.Mutex
+	ll       *list.List            // front = most recently used
+	items    map[Key]*list.Element // element value: *entry
+	flights  map[Key]*flight
+	resident int64
+}
+
+// New creates a cache holding at most budget bytes of results (plus a
+// small constant per entry). met may be nil.
+func New(budget int64, met Metrics) *Cache {
+	if met == nil {
+		met = nopMetrics{}
+	}
+	return &Cache{
+		budget:  budget,
+		met:     met,
+		ll:      list.New(),
+		items:   make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// Get returns the cached value for key, if present, marking it recently
+// used. It does not join or start a flight.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the value for key, computing it at most once across all
+// concurrent callers:
+//
+//   - cached → (value, Hit, nil) immediately;
+//   - another call is already computing key → block until it finishes
+//     (or ctx is done) and share its value and error, outcome Coalesced;
+//   - otherwise run compute, fan the result out to any waiters that
+//     arrived meanwhile, and — iff err is nil and cacheable is true —
+//     store it under key, evicting cold entries past the byte budget.
+//
+// compute reports the value, its approximate resident size in bytes,
+// whether it may be cached, and an error. Compute errors are returned to
+// every caller of the flight but never cached. ctx only bounds the wait
+// of a coalesced caller; the leader's compute governs its own lifetime.
+func (c *Cache) Do(ctx context.Context, key Key, compute func() (val any, size int64, cacheable bool, err error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		c.met.Hit()
+		return val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.met.Coalesced()
+		select {
+		case <-f.done:
+			return f.val, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.met.Miss()
+
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// compute panicked: release the flight so waiters don't hang and
+		// future calls can retry, then let the panic continue.
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		f.err = ErrComputeAborted
+		close(f.done)
+	}()
+	val, size, cacheable, err := compute()
+	finished = true
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && cacheable {
+		c.insertLocked(key, val, size+entryOverhead)
+	}
+	c.mu.Unlock()
+
+	f.val, f.err = val, err
+	close(f.done)
+	return val, Miss, err
+}
+
+// insertLocked stores (key, val) at the hot end and evicts from the cold
+// end until the budget holds. Oversized values are not admitted.
+func (c *Cache) insertLocked(key Key, val any, size int64) {
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.resident += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, size: size})
+		c.resident += size
+	}
+	for c.resident > c.budget {
+		cold := c.ll.Back()
+		if cold == nil {
+			break
+		}
+		c.removeLocked(cold)
+		c.met.Evicted()
+	}
+	c.met.Resident(c.resident)
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.resident -= e.size
+}
+
+// InvalidateDataset drops every cached entry for the named dataset,
+// regardless of version, and returns how many were dropped. Version-
+// keyed entries are already unreachable after a version bump; eager
+// invalidation just returns their bytes to the budget immediately.
+func (c *Cache) InvalidateDataset(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.Dataset == name {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	if n > 0 {
+		c.met.Resident(c.resident)
+	}
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// ResidentBytes returns the approximate bytes held by cached entries.
+func (c *Cache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}

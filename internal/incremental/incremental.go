@@ -143,13 +143,9 @@ func (m *Miner) Append(seqs ...interval.Sequence) (incremental bool, err error) 
 // retried.
 func (m *Miner) AppendCtx(ctx context.Context, seqs ...interval.Sequence) (incremental bool, err error) {
 	// Validate and index the increment before mutating any state.
-	newIdx := make([]pattern.Index, len(seqs))
-	for i := range seqs {
-		slices, err := endpoint.Encode(seqs[i])
-		if err != nil {
-			return false, fmt.Errorf("incremental: sequence %d: %w", i, err)
-		}
-		newIdx[i] = pattern.BuildIndex(slices)
+	newIdx, err := indexIncrement(seqs)
+	if err != nil {
+		return false, err
 	}
 	m.stats.Appends++
 
@@ -193,6 +189,35 @@ func (m *Miner) AppendCtx(ctx context.Context, seqs ...interval.Sequence) (incre
 	m.stats.IncrementalSteps++
 	m.stats.BufferSize = len(m.buffer)
 	return true, nil
+}
+
+// indexIncrement encodes and indexes an increment, rejecting any
+// sequence that cannot be endpoint-encoded before any state is touched.
+// It is the single validation gate for growing a database: AppendCtx
+// runs it before mutating, and ValidateSequences exposes the same rules
+// to other append paths (tpmd's dataset store), so "acceptable to the
+// incremental miner" and "acceptable to the server" can never drift
+// apart.
+func indexIncrement(seqs []interval.Sequence) ([]pattern.Index, error) {
+	idx := make([]pattern.Index, len(seqs))
+	for i := range seqs {
+		slices, err := endpoint.Encode(seqs[i])
+		if err != nil {
+			return nil, fmt.Errorf("incremental: sequence %d: %w", i, err)
+		}
+		idx[i] = pattern.BuildIndex(slices)
+	}
+	return idx, nil
+}
+
+// ValidateSequences reports whether every sequence of an increment is
+// endpoint-encodable — the exact precondition AppendCtx enforces before
+// mutating its database. Append paths outside this package (the tpmd
+// dataset store) call it to get validate-then-mutate atomicity with the
+// same rules.
+func ValidateSequences(seqs ...interval.Sequence) error {
+	_, err := indexIncrement(seqs)
+	return err
 }
 
 // fullRemine rebuilds the buffer from scratch for the current database

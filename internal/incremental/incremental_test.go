@@ -53,6 +53,36 @@ func TestNewMinerValidation(t *testing.T) {
 	}
 }
 
+// TestValidateSequences: the exported validation gate applies the same
+// rules as AppendCtx — a malformed increment is rejected by both, a
+// well-formed one accepted by both.
+func TestValidateSequences(t *testing.T) {
+	good := interval.Sequence{ID: "g", Intervals: []interval.Interval{
+		{Symbol: "A", Start: 0, End: 4},
+	}}
+	bad := interval.Sequence{ID: "b", Intervals: []interval.Interval{
+		{Symbol: "A", Start: 5, End: 1}, // End < Start
+	}}
+
+	if err := ValidateSequences(good); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	if err := ValidateSequences(good, bad); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+
+	m, err := NewMiner(core.Options{MinSupport: 0.5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(good, bad); err == nil {
+		t.Error("AppendCtx accepted an increment ValidateSequences rejects")
+	}
+	if m.Database().Len() != 0 {
+		t.Error("rejected append mutated the database")
+	}
+}
+
 // TestMatchesFromScratch is the central equivalence property: after
 // every append, Patterns() equals a from-scratch core.MineTemporal run
 // on the accumulated database.

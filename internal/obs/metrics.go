@@ -250,9 +250,9 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // Histogram samples observations into fixed cumulative buckets, tracking
 // the total sum and count. Observations and exposition are lock-free.
 type Histogram struct {
-	bounds []float64 // ascending upper bounds, +Inf implicit
-	counts []atomic.Uint64
-	count  atomic.Uint64
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 }
 

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRoutesDocumentedInREADME is the route contract: every route the
+// server serves must appear, verbatim as "METHOD /v1/path", in the
+// README's API reference table. Adding a route without documenting it
+// fails `make verify`.
+func TestRoutesDocumentedInREADME(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("README.md not readable from the package directory: %v", err)
+	}
+	doc := string(readme)
+	routes := Routes()
+	if len(routes) == 0 {
+		t.Fatal("server exposes no routes")
+	}
+	for _, route := range routes {
+		if !strings.Contains(doc, route) {
+			t.Errorf("served route %q is missing from the README API reference table", route)
+		}
+	}
+}
+
+// TestRouteTableIsServed proves Routes() is not aspirational: every
+// listed route resolves to a handler on both the /v1 and legacy
+// surfaces (no 404/405 from the mux), and unlisted paths do 404.
+func TestRouteTableIsServed(t *testing.T) {
+	ts := newTestServer(t)
+
+	for _, route := range Routes() {
+		method, pattern, ok := strings.Cut(route, " ")
+		if !ok {
+			t.Fatalf("malformed route %q", route)
+		}
+		path := strings.ReplaceAll(pattern, "{name}", "x")
+		for _, p := range []string{path, strings.TrimPrefix(path, "/v1")} {
+			// Recreate the dataset each time so earlier DELETE iterations
+			// cannot turn a served route into a spurious 404.
+			do(t, "PUT", ts.URL+"/v1/datasets/x", "text/csv", csvBody)
+			body, ctype := "", ""
+			if method == "POST" || method == "PUT" {
+				body, ctype = "s9: A[0,4]\n", "text/plain"
+				if strings.HasSuffix(p, "/mine") || strings.HasSuffix(p, "/rules") {
+					body, ctype = `{"min_count":2}`, "application/json"
+				}
+			}
+			resp, respBody := do(t, method, ts.URL+p, ctype, body)
+			if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+				t.Errorf("listed route %s %s not served: %d %q", method, p, resp.StatusCode, respBody)
+			}
+		}
+	}
+
+	resp, _ := do(t, "GET", ts.URL+"/v1/unknown", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unlisted path served: %d", resp.StatusCode)
+	}
+}
+
+// TestDeprecatedAliasForEveryRoute: the mux registers a legacy alias for
+// each /v1 route and the alias flags itself deprecated.
+func TestDeprecatedAliasForEveryRoute(t *testing.T) {
+	s := NewWithConfig(nil, Config{MaxConcurrentMines: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, _ := do(t, "GET", ts.URL+"/healthz", "", "")
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy /healthz not marked deprecated")
+	}
+	resp, _ = do(t, "GET", ts.URL+"/v1/healthz", "", "")
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/healthz marked deprecated")
+	}
+}

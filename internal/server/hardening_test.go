@@ -52,9 +52,12 @@ func TestMineBackpressure429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After header")
 	}
-	var eb errorBody
-	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" || eb.RequestID == "" {
+	var eb ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error.Message == "" || eb.RequestID == "" {
 		t.Errorf("429 envelope: %q (err=%v)", body, err)
+	}
+	if eb.Error.Code != "rate_limited" {
+		t.Errorf("429 error code = %q, want rate_limited", eb.Error.Code)
 	}
 
 	// The rules endpoint shares the semaphore.
@@ -85,11 +88,11 @@ func TestPanicRecovery500(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("panicking handler: %d %q, want 500", resp.StatusCode, body)
 	}
-	var eb errorBody
+	var eb ErrorEnvelope
 	if err := json.Unmarshal([]byte(body), &eb); err != nil {
 		t.Fatalf("500 body not JSON: %q", body)
 	}
-	if eb.Error != "internal server error" || eb.RequestID == "" {
+	if eb.Error.Code != "internal" || eb.Error.Message != "internal server error" || eb.RequestID == "" {
 		t.Errorf("500 envelope: %+v", eb)
 	}
 	if got := resp.Header.Get("X-Request-ID"); got != eb.RequestID {
@@ -120,9 +123,12 @@ func TestRequestIDPropagation(t *testing.T) {
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Fatalf("get missing: %d", resp2.StatusCode)
 	}
-	var eb errorBody
+	var eb ErrorEnvelope
 	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.RequestID == "" {
 		t.Errorf("404 envelope missing request_id: %q", body)
+	}
+	if eb.Error.Code != "not_found" {
+		t.Errorf("404 error code = %q, want not_found", eb.Error.Code)
 	}
 	if got := resp2.Header.Get("X-Request-ID"); got != eb.RequestID {
 		t.Errorf("header ID %q != body ID %q", got, eb.RequestID)
@@ -137,11 +143,11 @@ func TestBodyTooLarge413(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized upload: %d %q, want 413", resp.StatusCode, body)
 	}
-	var eb errorBody
+	var eb ErrorEnvelope
 	if err := json.Unmarshal([]byte(body), &eb); err != nil {
 		t.Fatalf("413 body not JSON: %q", body)
 	}
-	if !strings.Contains(eb.Error, "exceeds 64 bytes") || eb.RequestID == "" {
+	if eb.Error.Code != "payload_too_large" || !strings.Contains(eb.Error.Message, "exceeds 64 bytes") || eb.RequestID == "" {
 		t.Errorf("413 envelope: %+v", eb)
 	}
 

@@ -9,11 +9,14 @@ import (
 )
 
 // serverMetrics is the server's instrumentation surface, all registered
-// on one obs.Registry served at GET /metrics. Three groups:
+// on one obs.Registry served at GET /v1/metrics. Four groups:
 //
 //   - tpmd_http_*: per-route request counters and latency histograms
-//     recorded by the middleware for every request, plus in-flight and
+//     recorded by the middleware for every request — labelled by route
+//     pattern and API version (v1 vs legacy alias) — plus in-flight and
 //     backpressure (429) counters.
+//   - tpmd_cache_*: the mine-result cache — hits, misses, coalesced
+//     (single-flight) waiters, evictions, and resident bytes.
 //   - tpmd_mine_*: mining-job telemetry — runs by type and outcome,
 //     truncations by cause, deadline aborts, and the job-duration
 //     histogram that also drives the 429 Retry-After hint.
@@ -21,11 +24,13 @@ import (
 //     nodes, candidate scans, the paper's P1–P4 prunings, and the
 //     work-stealing scheduler's spawn/steal/queue-depth numbers.
 type serverMetrics struct {
-	reqTotal  *obs.CounterVec // route, class
+	reqTotal  *obs.CounterVec // route, api, class
 	reqDur    *obs.HistogramVec
 	reqBytes  *obs.CounterVec
 	inFlight  *obs.Gauge
 	throttled *obs.Counter
+
+	cache *cacheMetrics
 
 	mineRuns      *obs.CounterVec // type, outcome
 	mineTruncated *obs.CounterVec // cause
@@ -41,18 +46,46 @@ type serverMetrics struct {
 	schedMaxQueue *obs.Gauge
 }
 
+// cacheMetrics adapts the obs registry to the cache.Metrics interface.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	resident  *obs.Gauge
+}
+
+func (m *cacheMetrics) Hit()             { m.hits.Inc() }
+func (m *cacheMetrics) Miss()            { m.misses.Inc() }
+func (m *cacheMetrics) Coalesced()       { m.coalesced.Inc() }
+func (m *cacheMetrics) Evicted()         { m.evictions.Inc() }
+func (m *cacheMetrics) Resident(b int64) { m.resident.Set(b) }
+
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return &serverMetrics{
 		reqTotal: reg.NewCounterVec("tpmd_http_requests_total",
-			"HTTP requests served, by route and status class.", "route", "class"),
+			"HTTP requests served, by route, API version, and status class.", "route", "api", "class"),
 		reqDur: reg.NewHistogramVec("tpmd_http_request_duration_seconds",
-			"HTTP request latency by route.", nil, "route"),
+			"HTTP request latency by route and API version.", nil, "route", "api"),
 		reqBytes: reg.NewCounterVec("tpmd_http_response_bytes_total",
-			"Response body bytes written, by route.", "route"),
+			"Response body bytes written, by route and API version.", "route", "api"),
 		inFlight: reg.NewGauge("tpmd_http_requests_in_flight",
 			"Requests currently being handled."),
 		throttled: reg.NewCounter("tpmd_http_throttled_total",
 			"Requests rejected with 429 because every mining slot was busy."),
+
+		cache: &cacheMetrics{
+			hits: reg.NewCounter("tpmd_cache_hits_total",
+				"Mine/rules requests served from the result cache."),
+			misses: reg.NewCounter("tpmd_cache_misses_total",
+				"Mine/rules requests that ran the miner (cache miss)."),
+			coalesced: reg.NewCounter("tpmd_cache_coalesced_total",
+				"Mine/rules requests that shared a concurrent identical run via single-flight."),
+			evictions: reg.NewCounter("tpmd_cache_evictions_total",
+				"Result-cache entries evicted to stay within the byte budget."),
+			resident: reg.NewGauge("tpmd_cache_resident_bytes",
+				"Approximate bytes of mine/rules results currently cached."),
+		},
 
 		mineRuns: reg.NewCounterVec("tpmd_mine_runs_total",
 			"Mining jobs by pattern type and outcome (ok, truncated, deadline, canceled, invalid).",
@@ -97,10 +130,21 @@ func (m *serverMetrics) recordMinerStats(st core.Stats) {
 	m.schedMaxQueue.SetMax(st.MaxQueueDepth)
 }
 
+// apiLabel reports which API surface served the request: "v1" for the
+// versioned routes, "legacy" for the deprecated unversioned aliases.
+func apiLabel(r *http.Request) string {
+	if isV1(r) {
+		return "v1"
+	}
+	return "legacy"
+}
+
 // routeLabel maps a request path onto its route pattern so metric
 // cardinality stays bounded no matter what dataset names clients send.
+// The /v1 prefix is stripped — the API version is its own label — so a
+// route's time series stay comparable across versions.
 func routeLabel(r *http.Request) string {
-	p := r.URL.Path
+	p := strings.TrimPrefix(r.URL.Path, "/v1")
 	switch p {
 	case "/healthz", "/metrics", "/datasets":
 		return p

@@ -164,8 +164,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	first := parseMetrics(t, body)
 
 	for _, want := range []string{
-		`tpmd_http_requests_total{route="/datasets/{name}/mine",class="2xx"}`,
-		`tpmd_http_request_duration_seconds_bucket{route="/datasets/{name}/mine",le="+Inf"}`,
+		`tpmd_http_requests_total{route="/datasets/{name}/mine",api="legacy",class="2xx"}`,
+		`tpmd_http_request_duration_seconds_bucket{route="/datasets/{name}/mine",api="legacy",le="+Inf"}`,
+		`tpmd_cache_misses_total`,
+		`tpmd_cache_resident_bytes`,
 		`tpmd_mine_runs_total{type="temporal",outcome="ok"}`,
 		`tpmd_mine_duration_seconds_count`,
 		`tpmd_miner_nodes_total`,
@@ -198,7 +200,7 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("counter %s regressed: %v -> %v", name, v1, v2)
 		}
 	}
-	if second[`tpmd_http_requests_total{route="/datasets/{name}/mine",class="4xx"}`] < 1 {
+	if second[`tpmd_http_requests_total{route="/datasets/{name}/mine",api="legacy",class="4xx"}`] < 1 {
 		t.Error("invalid mine request not counted as 4xx")
 	}
 	if second[`tpmd_mine_runs_total{type="rules",outcome="ok"}`] < 1 {
@@ -217,7 +219,9 @@ func TestRetryAfterDerived(t *testing.T) {
 	}
 
 	s.mineSem <- struct{}{} // occupy the only slot
-	resp, _ := do(t, "POST", ts.URL+"/datasets/r/mine", "application/json", `{"min_count":2}`)
+	// Different options from the seeding mines, so this cannot be served
+	// from the result cache and must contend for the slot.
+	resp, _ := do(t, "POST", ts.URL+"/datasets/r/mine", "application/json", `{"min_count":1}`)
 	<-s.mineSem
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("busy mine: %d, want 429", resp.StatusCode)

@@ -3,20 +3,45 @@
 // pattern type. It is the integration surface a downstream system would
 // deploy (cmd/tpmd wraps it); everything is stdlib net/http.
 //
-// API (JSON in/out unless noted):
+// # API (v1)
 //
-//	GET    /healthz                      liveness
-//	GET    /datasets                     list datasets with summaries
-//	PUT    /datasets/{name}              create/replace; body is csv,
-//	                                     lines, or json per Content-Type
-//	POST   /datasets/{name}/append       append sequences (same formats)
-//	GET    /datasets/{name}              dataset summary
-//	DELETE /datasets/{name}              remove
-//	POST   /datasets/{name}/mine         body: MineRequest; returns
-//	                                     patterns with supports
-//	POST   /datasets/{name}/rules        body: RulesRequest; returns
-//	                                     temporal association rules
-//	GET    /metrics                      Prometheus text exposition
+// All routes are mounted under /v1; the unversioned paths remain as
+// deprecated aliases (they behave identically, carry a "Deprecation:
+// true" header and a Link to their /v1 successor, and keep the legacy
+// "elapsed" stats field that /v1 drops). JSON in/out unless noted:
+//
+//	GET    /v1/healthz                      liveness
+//	GET    /v1/metrics                      Prometheus text exposition
+//	GET    /v1/datasets                     list datasets with summaries
+//	PUT    /v1/datasets/{name}              create/replace; body is csv,
+//	                                        lines, or json per Content-Type
+//	GET    /v1/datasets/{name}              dataset summary (ETag, 304)
+//	DELETE /v1/datasets/{name}              remove
+//	POST   /v1/datasets/{name}/append       append sequences (same formats)
+//	POST   /v1/datasets/{name}/mine         body: MineRequest; patterns
+//	                                        with supports (ETag, 304)
+//	POST   /v1/datasets/{name}/rules        body: RulesRequest; temporal
+//	                                        association rules (ETag, 304)
+//
+// Errors use one JSON envelope on every route and status:
+// {"error":{"code","message","field"},"request_id":"..."} — code is a
+// stable machine-readable class, field names the offending request field
+// on validation errors.
+//
+// # Result caching and request coalescing
+//
+// Mining is deterministic for a fixed (dataset, options) pair, so
+// complete mine/rules results are memoized in a byte-budgeted LRU
+// (internal/cache) keyed by (dataset name, dataset version, canonical
+// options). Every dataset mutation (PUT, append, DELETE) bumps the
+// dataset's version, which changes the key — invalidation is exact, not
+// TTL-guessed. Concurrent identical requests collapse into a single
+// miner run via a single-flight group; the one result fans out to every
+// waiter. Responses expose how they were served: a "cache" field
+// (hit|miss|coalesced) plus an X-Cache header, and a strong ETag derived
+// from (dataset, version, options) that clients may return via
+// If-None-Match for a 304 without any mining. Truncated results and
+// failed runs are never cached and carry no ETag.
 //
 // # Operational hardening
 //
@@ -37,16 +62,20 @@
 //
 // The server logs structured records via log/slog (one "request" record
 // per request with route, status, duration, and request ID) and exposes
-// a Prometheus registry at GET /metrics: per-route request counters and
-// latency histograms, in-flight and backpressure gauges, mining-run
-// outcomes, and the miner's own node/scan/P1–P4-pruning/work-stealing
-// counters. The Retry-After hint on 429 responses is derived from the
-// observed mine-duration histogram. See internal/server/metrics.go for
-// the metric inventory.
+// a Prometheus registry at GET /v1/metrics: per-route request counters
+// and latency histograms (labelled by API version), in-flight and
+// backpressure gauges, cache hit/miss/coalesced/eviction counters with a
+// resident-bytes gauge, mining-run outcomes, and the miner's own
+// node/scan/P1–P4-pruning/work-stealing counters. The Retry-After hint
+// on 429 responses is derived from the observed mine-duration histogram.
+// See internal/server/metrics.go for the metric inventory.
 package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,10 +88,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"tpminer/internal/cache"
 	"tpminer/internal/core"
 	"tpminer/internal/dataio"
 	"tpminer/internal/interval"
@@ -78,6 +107,9 @@ const (
 	// DefaultMaxMineDuration is the server-side ceiling on one mining
 	// job.
 	DefaultMaxMineDuration = 60 * time.Second
+	// DefaultCacheBudgetBytes is the default resident-byte budget of the
+	// mine-result cache (128 MiB).
+	DefaultCacheBudgetBytes = 128 << 20
 )
 
 // Config bounds the server's resource usage. The zero value selects
@@ -104,6 +136,11 @@ type Config struct {
 	// request can spend less than the ceiling, never more. 0 means
 	// GOMAXPROCS.
 	MaxParallel int
+
+	// CacheBudgetBytes caps the resident bytes of memoized mine/rules
+	// results. 0 means DefaultCacheBudgetBytes; a negative value
+	// disables result caching and single-flight deduplication entirely.
+	CacheBudgetBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,19 +156,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallel <= 0 {
 		c.MaxParallel = runtime.GOMAXPROCS(0)
 	}
+	if c.CacheBudgetBytes == 0 {
+		c.CacheBudgetBytes = DefaultCacheBudgetBytes
+	}
 	return c
 }
 
 // Server is the HTTP mining service. Create with New or NewWithConfig,
 // mount via Handler.
 type Server struct {
-	mu       sync.RWMutex
-	datasets map[string]*interval.Database
-	logger   *slog.Logger
-	cfg      Config
+	store  *datasetStore
+	logger *slog.Logger
+	cfg    Config
+
+	// results memoizes complete mine/rules responses and coalesces
+	// concurrent identical requests. nil when disabled by config.
+	results *cache.Cache
 
 	// reg and met are the server's metrics registry (served at
-	// GET /metrics) and the typed handles into it.
+	// GET /v1/metrics) and the typed handles into it.
 	reg *obs.Registry
 	met *serverMetrics
 
@@ -141,9 +184,9 @@ type Server struct {
 	// reqSeq numbers generated request IDs.
 	reqSeq atomic.Uint64
 
-	// testMineHook, when set by a test, runs inside the mine handler
+	// testMineHook, when set by a test, runs inside the mine compute
 	// after the semaphore slot is claimed — the hook point for failure
-	// injection (panics mid-job).
+	// injection (panics mid-job) and for holding a mine open.
 	testMineHook func()
 }
 
@@ -161,36 +204,92 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
-	return &Server{
-		datasets: make(map[string]*interval.Database),
-		logger:   logger,
-		cfg:      cfg,
-		reg:      reg,
-		met:      newServerMetrics(reg),
-		mineSem:  make(chan struct{}, cfg.MaxConcurrentMines),
+	met := newServerMetrics(reg)
+	s := &Server{
+		store:   newDatasetStore(),
+		logger:  logger,
+		cfg:     cfg,
+		reg:     reg,
+		met:     met,
+		mineSem: make(chan struct{}, cfg.MaxConcurrentMines),
 	}
+	if cfg.CacheBudgetBytes > 0 {
+		s.results = cache.New(cfg.CacheBudgetBytes, met.cache)
+	}
+	return s
 }
 
 // Registry returns the server's metrics registry, the same one Handler
-// serves at GET /metrics. Embedders may register their own metrics on
-// it.
+// serves at GET /v1/metrics. Embedders may register their own metrics
+// on it.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the route table wrapped in the request-ID and
+// routeTable is the single source of truth for the HTTP surface: the
+// mux is built from it (each route mounted under /v1 and as a
+// deprecated legacy alias) and the README route-contract test walks it.
+var routeTable = []struct{ method, pattern string }{
+	{"GET", "/healthz"},
+	{"GET", "/metrics"},
+	{"GET", "/datasets"},
+	{"PUT", "/datasets/{name}"},
+	{"GET", "/datasets/{name}"},
+	{"DELETE", "/datasets/{name}"},
+	{"POST", "/datasets/{name}/append"},
+	{"POST", "/datasets/{name}/mine"},
+	{"POST", "/datasets/{name}/rules"},
+}
+
+// Routes returns the canonical route list as "METHOD /v1/path" strings,
+// one per served route. Tooling (the README contract test) walks it.
+func Routes() []string {
+	out := make([]string, len(routeTable))
+	for i, rt := range routeTable {
+		out[i] = rt.method + " /v1" + rt.pattern
+	}
+	return out
+}
+
+// Handler returns the route table — every route under /v1 plus its
+// legacy unversioned alias — wrapped in the request-ID and
 // panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":                 s.handleHealthz,
+		"GET /metrics":                 s.reg.Handler().ServeHTTP,
+		"GET /datasets":                s.handleList,
+		"PUT /datasets/{name}":         s.handlePut,
+		"GET /datasets/{name}":         s.handleGet,
+		"DELETE /datasets/{name}":      s.handleDelete,
+		"POST /datasets/{name}/append": s.handleAppend,
+		"POST /datasets/{name}/mine":   s.handleMine,
+		"POST /datasets/{name}/rules":  s.handleRules,
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.HandleFunc("GET /datasets", s.handleList)
-	mux.HandleFunc("PUT /datasets/{name}", s.handlePut)
-	mux.HandleFunc("GET /datasets/{name}", s.handleGet)
-	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
-	mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
-	mux.HandleFunc("POST /datasets/{name}/mine", s.handleMine)
-	mux.HandleFunc("POST /datasets/{name}/rules", s.handleRules)
+	for _, rt := range routeTable {
+		key := rt.method + " " + rt.pattern
+		h, ok := handlers[key]
+		if !ok {
+			panic("server: route without handler: " + key)
+		}
+		mux.HandleFunc(rt.method+" /v1"+rt.pattern, h)
+		mux.HandleFunc(key, deprecated(h))
+	}
 	return s.middleware(mux)
 }
+
+// deprecated wraps a handler for a legacy unversioned alias: identical
+// behaviour plus a Deprecation header and a Link to the /v1 successor.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// isV1 reports whether the request came in through a /v1 route (as
+// opposed to a legacy alias).
+func isV1(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
 
 // ctxKey keys middleware values in the request context.
 type ctxKey int
@@ -228,8 +327,10 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				// If the handler already started the response this
 				// write is a no-op on the status; the log above is the
 				// record either way.
-				s.writeJSON(sw, http.StatusInternalServerError,
-					errorBody{Error: "internal server error", RequestID: id})
+				s.writeJSON(sw, http.StatusInternalServerError, ErrorEnvelope{
+					Error:     ErrorDetail{Code: "internal", Message: "internal server error"},
+					RequestID: id,
+				})
 			}
 			s.met.inFlight.Dec()
 			status := sw.status
@@ -237,15 +338,16 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				status = http.StatusOK
 			}
 			route := routeLabel(r)
+			api := apiLabel(r)
 			dur := time.Since(start)
-			s.met.reqTotal.With(route, statusClass(status)).Inc()
-			s.met.reqDur.With(route).Observe(dur.Seconds())
-			s.met.reqBytes.With(route).Add(uint64(sw.bytes))
+			s.met.reqTotal.With(route, api, statusClass(status)).Inc()
+			s.met.reqDur.With(route, api).Observe(dur.Seconds())
+			s.met.reqBytes.With(route, api).Add(uint64(sw.bytes))
 			if status == http.StatusTooManyRequests {
 				s.met.throttled.Inc()
 			}
 			s.logger.Info("request",
-				"request_id", id, "method", r.Method, "route", route,
+				"request_id", id, "method", r.Method, "route", route, "api", api,
 				"path", r.URL.Path, "status", status,
 				"duration_ms", dur.Milliseconds(), "bytes", sw.bytes)
 		}()
@@ -253,11 +355,54 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 	})
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error     string `json:"error"`
-	RequestID string `json:"request_id,omitempty"`
+// ErrorDetail is the error object of the uniform JSON error envelope.
+type ErrorDetail struct {
+	// Code is a stable, machine-readable error class: invalid_request,
+	// not_found, payload_too_large, rate_limited, deadline_exceeded, or
+	// internal.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Field names the offending JSON request field on validation errors.
+	Field string `json:"field,omitempty"`
 }
+
+// ErrorEnvelope is the body of every non-2xx JSON response, on every
+// route and API version.
+type ErrorEnvelope struct {
+	Error     ErrorDetail `json:"error"`
+	RequestID string      `json:"request_id,omitempty"`
+}
+
+// codeForStatus maps a response status to the envelope's error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "invalid_request"
+	}
+}
+
+// fieldError is an error attributable to one JSON request field; the
+// error envelope surfaces the name in error.field.
+type fieldError struct {
+	field string
+	msg   string
+}
+
+func (e *fieldError) Error() string { return e.msg }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -276,21 +421,29 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 		status = http.StatusRequestEntityTooLarge
 		err = fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
 	}
+	var fe *fieldError
+	field := ""
+	if errors.As(err, &fe) {
+		field = fe.field
+	}
 	id := requestID(r)
 	if status >= 500 || status == http.StatusTooManyRequests {
 		s.logger.Warn("request failed",
 			"request_id", id, "method", r.Method, "path", r.URL.Path,
 			"status", status, "error", err.Error())
 	}
-	s.writeJSON(w, status, errorBody{Error: err.Error(), RequestID: id})
+	s.writeJSON(w, status, ErrorEnvelope{
+		Error:     ErrorDetail{Code: codeForStatus(status), Message: err.Error(), Field: field},
+		RequestID: id,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// DatasetSummary is the wire form of GET /datasets and
-// GET /datasets/{name}.
+// DatasetSummary is the wire form of GET /v1/datasets and
+// GET /v1/datasets/{name}.
 type DatasetSummary struct {
 	Name      string  `json:"name"`
 	Sequences int     `json:"sequences"`
@@ -311,12 +464,7 @@ func summarize(name string, db *interval.Database) DatasetSummary {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	out := make([]DatasetSummary, 0, len(s.datasets))
-	for name, db := range s.datasets {
-		out = append(out, summarize(name, db))
-	}
-	s.mu.RUnlock()
+	out := s.store.list()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -341,6 +489,16 @@ func (s *Server) readDatasetBody(r *http.Request) (*interval.Database, error) {
 	}
 }
 
+// invalidateResults eagerly drops cached results for a mutated dataset.
+// Correctness does not depend on it — mutations bump the version, which
+// changes every future cache key — but dropping unreachable entries
+// returns their bytes to the budget immediately.
+func (s *Server) invalidateResults(name string) {
+	if s.results != nil {
+		s.results.InvalidateDataset(name)
+	}
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	db, err := s.readDatasetBody(r)
@@ -348,16 +506,16 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	_, existed := s.datasets[name]
-	s.datasets[name] = db
-	s.mu.Unlock()
+	ver, existed := s.store.put(name, db)
+	s.invalidateResults(name)
 	s.logger.Info("dataset stored",
-		"request_id", requestID(r), "dataset", name, "sequences", db.Len())
+		"request_id", requestID(r), "dataset", name, "sequences", db.Len(),
+		"version", ver)
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
 	}
+	w.Header().Set("ETag", datasetETag(name, ver))
 	s.writeJSON(w, status, summarize(name, db))
 }
 
@@ -368,37 +526,41 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	db, ok := s.datasets[name]
-	if ok {
-		db.Sequences = append(db.Sequences, add.Sequences...)
-	}
-	s.mu.Unlock()
-	if !ok {
+	db, ver, found, err := s.store.append(name, add)
+	switch {
+	case err != nil:
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	case !found:
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
+	s.invalidateResults(name)
+	w.Header().Set("ETag", datasetETag(name, ver))
 	s.writeJSON(w, http.StatusOK, summarize(name, db))
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.RLock()
-	db, ok := s.datasets[name]
-	s.mu.RUnlock()
+	db, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
+	etag := datasetETag(name, ver)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
 	s.writeJSON(w, http.StatusOK, summarize(name, db))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	_, ok := s.datasets[name]
-	delete(s.datasets, name)
-	s.mu.Unlock()
+	ok := s.store.delete(name)
+	s.invalidateResults(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
@@ -406,19 +568,67 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// acquireMineSlot claims a slot from the mining semaphore without
-// blocking. On overload it writes the 429 backpressure response and
-// returns false. The caller must invoke the release func when done.
-func (s *Server) acquireMineSlot(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// ---------------------------------------------------------------- etags
+
+// resultETag derives the strong ETag of a memoizable result: a digest
+// of the dataset name, its version, and the canonical result options.
+// Identical ETags guarantee byte-identical complete results, because
+// mining is deterministic for a fixed (database, options) pair.
+func resultETag(k cache.Key) string {
+	h := sha256.New()
+	io.WriteString(h, k.Dataset)
+	h.Write([]byte{0})
+	var vb [8]byte
+	binary.BigEndian.PutUint64(vb[:], k.Version)
+	h.Write(vb[:])
+	io.WriteString(h, k.Options)
+	sum := h.Sum(nil)
+	return `"` + hex.EncodeToString(sum[:12]) + `"`
+}
+
+// datasetETag is the strong ETag of a dataset summary at one version.
+func datasetETag(name string, version uint64) string {
+	return resultETag(cache.Key{Dataset: name, Version: version, Options: "dataset"})
+}
+
+// etagMatches implements If-None-Match comparison against one strong
+// ETag: a comma-separated candidate list, "*" wildcard, and W/ prefixes
+// (weak comparison degrades to the same bytes for our strong tags).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// ----------------------------------------------------------- mine slots
+
+// errMineBusy signals that every mining slot was occupied; the handler
+// maps it to 429 with a Retry-After hint.
+var errMineBusy = errors.New("all mining slots busy")
+
+// tryAcquireMineSlot claims a slot from the mining semaphore without
+// blocking. The caller must invoke the release func when done.
+func (s *Server) tryAcquireMineSlot() (release func(), ok bool) {
 	select {
 	case s.mineSem <- struct{}{}:
 		return func() { <-s.mineSem }, true
 	default:
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		s.writeError(w, r, http.StatusTooManyRequests,
-			fmt.Errorf("all %d mining slots busy; retry later", cap(s.mineSem)))
 		return nil, false
 	}
+}
+
+// writeBusy sends the 429 backpressure response.
+func (s *Server) writeBusy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeError(w, r, http.StatusTooManyRequests,
+		fmt.Errorf("all %d mining slots busy; retry later", cap(s.mineSem)))
 }
 
 // Bounds on the derived Retry-After hint: at least one second (clients
@@ -449,17 +659,25 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
-// mineContext derives the mining context for one job: the request
-// context (cancelled when the client disconnects) bounded by the server
-// ceiling, lowered further by a per-request timeout_ms if given.
+// mineContext derives the mining context for one job, bounded by the
+// server ceiling and lowered further by a per-request timeout_ms if
+// given. With result caching enabled the context is detached from the
+// requesting client's cancellation: the run's result may fan out to
+// coalesced waiters and into the cache, so one disconnecting client
+// must not abort work others are (or will be) waiting on. The deadline
+// still applies either way.
 func (s *Server) mineContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	base := r.Context()
+	if s.results != nil {
+		base = context.WithoutCancel(base)
+	}
 	d := s.cfg.MaxMineDuration
 	if timeoutMillis > 0 {
 		if req := time.Duration(timeoutMillis) * time.Millisecond; req < d {
 			d = req
 		}
 	}
-	return context.WithTimeout(r.Context(), d)
+	return context.WithTimeout(base, d)
 }
 
 // writeMineError maps a mining error to a response: context deadline →
@@ -478,26 +696,71 @@ func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err erro
 	}
 }
 
-// MineRequest is the body of POST /datasets/{name}/mine.
-type MineRequest struct {
-	// Type is "temporal" (default) or "coincidence".
-	Type string `json:"type,omitempty"`
+// writeComputeError maps the result of a cached/coalesced compute to a
+// response, covering the sentinels the cache layer can add on top of
+// plain mining errors.
+func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errMineBusy):
+		s.writeBusy(w, r)
+	case errors.Is(err, cache.ErrComputeAborted):
+		s.writeError(w, r, http.StatusInternalServerError,
+			errors.New("mining aborted; see server logs"))
+	default:
+		s.writeMineError(w, r, err)
+	}
+}
+
+// ----------------------------------------------------------- wire types
+
+// MiningOptions is the option block shared by MineRequest and
+// RulesRequest. It is embedded, so the wire format stays flat.
+type MiningOptions struct {
 	// MinSupport in (0,1], or MinCount >= 1 (one required).
 	MinSupport float64 `json:"min_support,omitempty"`
 	MinCount   int     `json:"min_count,omitempty"`
+	// MaxIntervals caps pattern size in intervals.
+	MaxIntervals int `json:"max_intervals,omitempty"`
+	// TimeoutMillis lowers the server's hard deadline for this job (it
+	// can never raise it); hitting the deadline aborts with 504.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// validate rejects malformed shared options, naming the offending JSON
+// field.
+func (o MiningOptions) validate() error {
+	if o.MinSupport < 0 || o.MinSupport > 1 {
+		return &fieldError{"min_support", fmt.Sprintf("min_support %v outside [0,1]", o.MinSupport)}
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"min_count", int64(o.MinCount)},
+		{"max_intervals", int64(o.MaxIntervals)},
+		{"timeout_ms", o.TimeoutMillis},
+	} {
+		if f.v < 0 {
+			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %d", f.name, f.v)}
+		}
+	}
+	return nil
+}
+
+// MineRequest is the body of POST /v1/datasets/{name}/mine.
+type MineRequest struct {
+	// Type is "temporal" (default) or "coincidence".
+	Type string `json:"type,omitempty"`
+	MiningOptions
 	// Optional constraints and modes.
-	MaxIntervals       int    `json:"max_intervals,omitempty"`
 	MaxElements        int    `json:"max_elements,omitempty"`
 	MaxItemsPerElement int    `json:"max_items_per_element,omitempty"`
 	MaxSpan            int64  `json:"max_span,omitempty"`
 	MaxGap             int64  `json:"max_gap,omitempty"`
 	TopK               int    `json:"top_k,omitempty"`
 	Filter             string `json:"filter,omitempty"` // "", "closed", "maximal"
-	// Resource bounds. TimeoutMillis lowers the server's hard deadline
-	// for this job (it can never raise it); hitting it aborts with 504.
-	// TimeBudgetMillis and MaxPatterns are soft budgets: the miner
-	// stops early and returns what it found, flagged in stats.
-	TimeoutMillis    int64 `json:"timeout_ms,omitempty"`
+	// Soft budgets: the miner stops early and returns what it found,
+	// flagged in stats. Truncated results are never cached.
 	TimeBudgetMillis int64 `json:"time_budget_ms,omitempty"`
 	MaxPatterns      int   `json:"max_patterns,omitempty"`
 	// Parallel requests worker goroutines for the search, capped at the
@@ -507,33 +770,63 @@ type MineRequest struct {
 
 // validate rejects malformed requests up front — before a mining slot
 // is claimed — so garbage input can never occupy a slot or flow into
-// core.Options unchecked (a negative TimeBudgetMillis used to do exactly
-// that). Each violation names the offending JSON field.
+// core.Options unchecked. Each violation names the offending JSON field
+// in the error envelope.
 func (req MineRequest) validate() error {
-	if req.MinSupport < 0 || req.MinSupport > 1 {
-		return fmt.Errorf("min_support %v outside [0,1]", req.MinSupport)
+	if err := req.MiningOptions.validate(); err != nil {
+		return err
+	}
+	switch req.Type {
+	case "", "temporal", "coincidence":
+	default:
+		return &fieldError{"type", fmt.Sprintf("unknown type %q", req.Type)}
+	}
+	switch req.Filter {
+	case "", "closed", "maximal":
+	default:
+		return &fieldError{"filter", fmt.Sprintf("unknown filter %q", req.Filter)}
 	}
 	for _, f := range []struct {
 		name string
 		v    int64
 	}{
-		{"min_count", int64(req.MinCount)},
-		{"max_intervals", int64(req.MaxIntervals)},
 		{"max_elements", int64(req.MaxElements)},
 		{"max_items_per_element", int64(req.MaxItemsPerElement)},
 		{"max_span", req.MaxSpan},
 		{"max_gap", req.MaxGap},
 		{"top_k", int64(req.TopK)},
-		{"timeout_ms", req.TimeoutMillis},
 		{"time_budget_ms", req.TimeBudgetMillis},
 		{"max_patterns", int64(req.MaxPatterns)},
 		{"parallel", int64(req.Parallel)},
 	} {
 		if f.v < 0 {
-			return fmt.Errorf("%s must not be negative, got %d", f.name, f.v)
+			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %d", f.name, f.v)}
 		}
 	}
 	return nil
+}
+
+// patternType resolves the request's pattern type with its default.
+func (req MineRequest) patternType() string {
+	if req.Type == "" {
+		return "temporal"
+	}
+	return req.Type
+}
+
+// resultOptions canonicalizes the result-determining options of a mine
+// request into the cache-key/ETag string. Execution knobs — timeout_ms,
+// time_budget_ms, parallel — are deliberately excluded: they change how
+// long the search may run, never what a complete run returns (parallel
+// runs are result-equivalent, and truncated runs are never cached), so
+// requests differing only in those share one entry. max_patterns is
+// included because a complete run under a cap is only known equivalent
+// to an uncapped one at the same cap.
+func (req MineRequest) resultOptions(ptype string) string {
+	return fmt.Sprintf("mine|type=%s|sup=%v|cnt=%d|ivs=%d|els=%d|ipe=%d|span=%d|gap=%d|topk=%d|filter=%s|maxpat=%d",
+		ptype, req.MinSupport, req.MinCount, req.MaxIntervals, req.MaxElements,
+		req.MaxItemsPerElement, req.MaxSpan, req.MaxGap, req.TopK, req.Filter,
+		req.MaxPatterns)
 }
 
 // options converts the request to miner options, capping the requested
@@ -571,6 +864,11 @@ type MineResponse struct {
 	Count    int            `json:"count"`
 	Patterns []MinedPattern `json:"patterns"`
 	Stats    MineStats      `json:"stats"`
+	// Cache says how this response was served: "hit" (from cache),
+	// "miss" (this request ran the miner), or "coalesced" (an identical
+	// concurrent request ran it; this one shared the result). Empty when
+	// caching is disabled.
+	Cache string `json:"cache,omitempty"`
 }
 
 // MineStats is the wire form of the search counters: the full pruning
@@ -597,9 +895,9 @@ type MineStats struct {
 	//
 	// Deprecated: the legacy "elapsed" key predates elapsed_ms and held
 	// a duration string under a name that suggested a millisecond
-	// integer. It is kept for wire compatibility; new clients should
-	// read elapsed_ms. It will be dropped in a future API version.
-	Elapsed string `json:"elapsed"`
+	// integer. It is emitted only on the legacy unversioned routes; /v1
+	// responses omit it. Read elapsed_ms instead.
+	Elapsed string `json:"elapsed,omitempty"`
 	// Truncated marks a run cut short by a soft budget; TruncatedBy is
 	// "max_patterns" or "time_budget".
 	Truncated   bool   `json:"truncated,omitempty"`
@@ -631,6 +929,16 @@ func (s *Server) recordMineRun(ptype string, st core.Stats, dur time.Duration, e
 	s.met.recordMinerStats(st)
 }
 
+// approxJSONSize sizes a response for the cache budget by encoding it
+// once.
+func approxJSONSize(v any) int64 {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req MineRequest
@@ -642,32 +950,69 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	db, ok := s.snapshot(name)
+	db, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 
-	ptype := req.Type
-	if ptype == "" {
-		ptype = "temporal"
-	}
-	switch ptype {
-	case "temporal", "coincidence":
-	default:
-		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown type %q", ptype))
-		return
-	}
-	switch req.Filter {
-	case "", "closed", "maximal":
-	default:
-		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("unknown filter %q", req.Filter))
+	ptype := req.patternType()
+	key := cache.Key{Dataset: name, Version: ver, Options: req.resultOptions(ptype)}
+	etag := resultETag(key)
+	// A matching If-None-Match short-circuits before any mining: the
+	// version in the ETag proves the dataset has not changed, and
+	// complete results are deterministic.
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 
-	release, ok := s.acquireMineSlot(w, r)
-	if !ok {
+	compute := func() (any, int64, bool, error) {
+		resp, complete, err := s.runMine(r, db, name, ptype, req)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return resp, approxJSONSize(resp), complete, nil
+	}
+	var (
+		v       any
+		outcome cache.Outcome
+		err     error
+	)
+	if s.results != nil {
+		v, outcome, err = s.results.Do(r.Context(), key, compute)
+	} else {
+		v, _, _, err = compute()
+	}
+	if err != nil {
+		s.writeComputeError(w, r, err)
 		return
+	}
+
+	resp := *(v.(*MineResponse)) // shallow copy; per-request fields below
+	resp.Cache = string(outcome)
+	if isV1(r) {
+		resp.Stats.Elapsed = "" // dropped from /v1 responses
+	}
+	if outcome != "" {
+		w.Header().Set("X-Cache", string(outcome))
+	}
+	if !resp.Stats.Truncated {
+		w.Header().Set("ETag", etag)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runMine executes one mining job end to end: claim a slot (errMineBusy
+// when saturated), mine under the job context, record metrics. complete
+// reports whether the result is the full deterministic answer for
+// (dataset version, options) — truncated runs are not, and must never
+// be cached or carry an ETag.
+func (s *Server) runMine(r *http.Request, db *interval.Database, name, ptype string, req MineRequest) (resp *MineResponse, complete bool, err error) {
+	release, ok := s.tryAcquireMineSlot()
+	if !ok {
+		return nil, false, errMineBusy
 	}
 	defer release()
 	if s.testMineHook != nil {
@@ -677,14 +1022,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	mineStart := time.Now()
-	resp := MineResponse{Dataset: name, Type: ptype}
+	resp = &MineResponse{Dataset: name, Type: ptype}
+	var st core.Stats
 	switch ptype {
 	case "temporal":
-		var (
-			rs  []pattern.TemporalResult
-			st  core.Stats
-			err error
-		)
+		var rs []pattern.TemporalResult
 		if req.TopK > 0 {
 			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
 		} else {
@@ -698,11 +1040,6 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 				rs, err = core.FilterMaximalCtx(ctx, rs)
 			}
 		}
-		s.recordMineRun(ptype, st, time.Since(mineStart), err)
-		if err != nil {
-			s.writeMineError(w, r, err)
-			return
-		}
 		for _, pr := range rs {
 			resp.Patterns = append(resp.Patterns, MinedPattern{
 				Support:   pr.Support,
@@ -710,13 +1047,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 				Relations: pr.Pattern.RelationSummary(),
 			})
 		}
-		resp.Stats = wireStats(st)
 	case "coincidence":
-		var (
-			rs  []pattern.CoincResult
-			st  core.Stats
-			err error
-		)
+		var rs []pattern.CoincResult
 		if req.TopK > 0 {
 			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
 		} else {
@@ -730,57 +1062,55 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 				rs, err = core.FilterMaximalCoincCtx(ctx, rs)
 			}
 		}
-		s.recordMineRun(ptype, st, time.Since(mineStart), err)
-		if err != nil {
-			s.writeMineError(w, r, err)
-			return
-		}
 		for _, pr := range rs {
 			resp.Patterns = append(resp.Patterns, MinedPattern{
 				Support: pr.Support,
 				Pattern: pr.Pattern.String(),
 			})
 		}
-		resp.Stats = wireStats(st)
+	}
+	s.recordMineRun(ptype, st, time.Since(mineStart), err)
+	if err != nil {
+		return nil, false, err
 	}
 	resp.Count = len(resp.Patterns)
-	s.writeJSON(w, http.StatusOK, resp)
+	resp.Stats = wireStats(st)
+	return resp, !st.Truncated, nil
 }
 
-// RulesRequest is the body of POST /datasets/{name}/rules: mine
+// RulesRequest is the body of POST /v1/datasets/{name}/rules: mine
 // temporal patterns, then derive association rules.
 type RulesRequest struct {
-	MinSupport    float64 `json:"min_support,omitempty"`
-	MinCount      int     `json:"min_count,omitempty"`
-	MaxIntervals  int     `json:"max_intervals,omitempty"`
+	MiningOptions
 	MinConfidence float64 `json:"min_confidence,omitempty"`
 	MinLift       float64 `json:"min_lift,omitempty"`
-	// TimeoutMillis lowers the server's hard mining deadline for this
-	// job; see MineRequest.
-	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // validate rejects malformed rules requests with the offending field
 // named; see MineRequest.validate.
 func (req RulesRequest) validate() error {
-	if req.MinSupport < 0 || req.MinSupport > 1 {
-		return fmt.Errorf("min_support %v outside [0,1]", req.MinSupport)
+	if err := req.MiningOptions.validate(); err != nil {
+		return err
 	}
 	for _, f := range []struct {
 		name string
 		v    float64
 	}{
-		{"min_count", float64(req.MinCount)},
-		{"max_intervals", float64(req.MaxIntervals)},
 		{"min_confidence", req.MinConfidence},
 		{"min_lift", req.MinLift},
-		{"timeout_ms", float64(req.TimeoutMillis)},
 	} {
 		if f.v < 0 {
-			return fmt.Errorf("%s must not be negative, got %v", f.name, f.v)
+			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %v", f.name, f.v)}
 		}
 	}
 	return nil
+}
+
+// resultOptions canonicalizes the result-determining options of a rules
+// request; see MineRequest.resultOptions.
+func (req RulesRequest) resultOptions() string {
+	return fmt.Sprintf("rules|sup=%v|cnt=%d|ivs=%d|conf=%v|lift=%v",
+		req.MinSupport, req.MinCount, req.MaxIntervals, req.MinConfidence, req.MinLift)
 }
 
 // WireRule is one derived rule on the wire.
@@ -804,15 +1134,54 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	db, ok := s.snapshot(name)
+	db, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 
-	release, ok := s.acquireMineSlot(w, r)
-	if !ok {
+	key := cache.Key{Dataset: name, Version: ver, Options: req.resultOptions()}
+	etag := resultETag(key)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
 		return
+	}
+
+	compute := func() (any, int64, bool, error) {
+		out, err := s.runRules(r, db, req)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return out, approxJSONSize(out), true, nil
+	}
+	var (
+		v       any
+		outcome cache.Outcome
+		err     error
+	)
+	if s.results != nil {
+		v, outcome, err = s.results.Do(r.Context(), key, compute)
+	} else {
+		v, _, _, err = compute()
+	}
+	if err != nil {
+		s.writeComputeError(w, r, err)
+		return
+	}
+	if outcome != "" {
+		w.Header().Set("X-Cache", string(outcome))
+	}
+	w.Header().Set("ETag", etag)
+	s.writeJSON(w, http.StatusOK, v.([]WireRule))
+}
+
+// runRules executes one rules job: mine temporal patterns under a slot
+// and the job context, then derive scored rules.
+func (s *Server) runRules(r *http.Request, db *interval.Database, req RulesRequest) ([]WireRule, error) {
+	release, ok := s.tryAcquireMineSlot()
+	if !ok {
+		return nil, errMineBusy
 	}
 	defer release()
 	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
@@ -827,16 +1196,14 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	rs, st, err := core.MineTemporalCtx(ctx, db, opt)
 	s.recordMineRun("rules", st, time.Since(mineStart), err)
 	if err != nil {
-		s.writeMineError(w, r, err)
-		return
+		return nil, err
 	}
 	derived, err := rules.Derive(rs, db, rules.Options{
 		MinConfidence: req.MinConfidence,
 		MinLift:       req.MinLift,
 	})
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	out := make([]WireRule, len(derived))
 	for i, ru := range derived {
@@ -849,19 +1216,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			Lift:       ru.Lift,
 		}
 	}
-	s.writeJSON(w, http.StatusOK, out)
-}
-
-// snapshot returns a deep copy of the named dataset so mining runs
-// without holding the lock (appends may proceed concurrently).
-func (s *Server) snapshot(name string) (*interval.Database, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	db, ok := s.datasets[name]
-	if !ok {
-		return nil, false
-	}
-	return db.Clone(), true
+	return out, nil
 }
 
 // decodeJSONBody parses a JSON request body, tolerating an empty body

@@ -218,7 +218,7 @@ func TestMineRequestParallelCap(t *testing.T) {
 		{0, 4, 0}, {3, 4, 3}, {4, 4, 4}, {9, 4, 4},
 	}
 	for _, c := range cases {
-		opt := MineRequest{MinCount: 1, Parallel: c.req}.options(c.ceil)
+		opt := MineRequest{MiningOptions: MiningOptions{MinCount: 1}, Parallel: c.req}.options(c.ceil)
 		if opt.Parallel != c.want {
 			t.Errorf("options(%d) with ceiling %d: Parallel = %d, want %d", c.req, c.ceil, opt.Parallel, c.want)
 		}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"tpminer/internal/incremental"
+	"tpminer/internal/interval"
+)
+
+// datasetStore holds the server's named datasets with a monotonic
+// version per dataset. Stored databases are immutable: PUT installs a
+// fresh database, and append replaces the entry with a copy-on-write
+// extension instead of mutating in place. Readers (summaries and mining
+// snapshots) therefore share the stored pointer with no cloning and no
+// lock held during the mine — the previous design cloned the whole
+// database on every mine request to defend against in-place appends.
+//
+// Versions drive exact cache invalidation: every mutation (PUT, append,
+// DELETE) draws from one store-wide counter, so a dataset deleted and
+// re-created never repeats a version and a (name, version) pair
+// identifies one immutable database state forever.
+type datasetStore struct {
+	mu      sync.RWMutex
+	entries map[string]*datasetEntry
+	verSeq  uint64
+}
+
+type datasetEntry struct {
+	db      *interval.Database // immutable once stored
+	version uint64
+}
+
+func newDatasetStore() *datasetStore {
+	return &datasetStore{entries: make(map[string]*datasetEntry)}
+}
+
+// put installs db under name, bumping the version. The caller hands over
+// ownership: db must not be modified afterwards.
+func (st *datasetStore) put(name string, db *interval.Database) (version uint64, existed bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, existed = st.entries[name]
+	st.verSeq++
+	st.entries[name] = &datasetEntry{db: db, version: st.verSeq}
+	return st.verSeq, existed
+}
+
+// snapshot returns the named dataset's current database and version.
+// The database is immutable and safe to read concurrently; callers must
+// not modify it.
+func (st *datasetStore) snapshot(name string) (*interval.Database, uint64, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.entries[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.db, e.version, true
+}
+
+// append extends the named dataset with add's sequences, copy-on-write:
+// the increment is validated first (via the incremental package's
+// encoding gate, so the server and the incremental miner accept exactly
+// the same data), then a new database replaces the entry under a bumped
+// version. A validation error leaves the dataset untouched at its old
+// version. found=false means no such dataset.
+func (st *datasetStore) append(name string, add *interval.Database) (db *interval.Database, version uint64, found bool, err error) {
+	if err := incremental.ValidateSequences(add.Sequences...); err != nil {
+		return nil, 0, true, fmt.Errorf("append rejected: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[name]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	grown := e.db.Clone()
+	grown.Sequences = append(grown.Sequences, add.Sequences...)
+	st.verSeq++
+	st.entries[name] = &datasetEntry{db: grown, version: st.verSeq}
+	return grown, st.verSeq, true, nil
+}
+
+// delete removes the named dataset. The version counter still advances
+// so a later re-creation cannot resurrect stale cache keys.
+func (st *datasetStore) delete(name string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[name]; !ok {
+		return false
+	}
+	st.verSeq++
+	delete(st.entries, name)
+	return true
+}
+
+// list returns a summary of every dataset.
+func (st *datasetStore) list() []DatasetSummary {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]DatasetSummary, 0, len(st.entries))
+	for name, e := range st.entries {
+		out = append(out, summarize(name, e.db))
+	}
+	return out
+}
