@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race contract verify bench bench-all
+.PHONY: build vet test race contract recovery verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,20 @@ race:
 contract:
 	$(GO) test ./internal/server -run 'TestRoutesDocumentedInREADME|TestRouteTableIsServed'
 
+# Crash-recovery gate: the persist fault-injection tests (torn tail,
+# corrupt CRC mid-log, partial snapshot, crash during compaction) and
+# the server restart round-trips, under the race detector. `race`
+# already runs these; this target exists to run them alone and by name,
+# so a durability regression is unmissable in CI output.
+recovery:
+	$(GO) test -race ./internal/persist -run 'TestRecovery|TestCrash|TestClean'
+	$(GO) test -race ./internal/server -run 'TestRestart|TestPersisted'
+
 # The full pre-merge gate. vet and race cover every package, including
 # internal/obs and the instrumented server/scheduler paths; contract
-# keeps the README API table in lockstep with the served routes.
-verify: build vet race contract
+# keeps the README API table in lockstep with the served routes;
+# recovery re-runs the persist crash-recovery suite by name.
+verify: build vet race contract recovery
 
 # Runs the Fig-1 workload and core micro-benchmarks and writes
 # BENCH_core.json with speedups against bench/baseline.json. Fails if

@@ -22,9 +22,22 @@
 // (single-flight); -cache-budget sizes the cache and -no-cache disables
 // both. Responses carry strong ETags and honor If-None-Match with 304.
 //
+// Durability: with -data-dir the datasets survive restarts. Every
+// mutation (PUT, append, DELETE) commits to a CRC32C-checksummed
+// write-ahead log before it is acknowledged; once the log passes
+// -wal-max-bytes the server cuts a snapshot and compacts. On boot the
+// newest valid snapshot is loaded and the WAL tail replayed (a torn
+// final record — the signature of a crash mid-write — is truncated
+// away), restoring dataset contents, versions, and ETag continuity.
+// -fsync picks the durability/latency trade-off: always (fsync per
+// record), interval (background flush every 100ms), never (OS decides).
+// Without -data-dir the server is purely in-memory, as before.
+// -inspect-wal <dir> dumps a data directory's record headers and flags
+// the first corrupt frame, then exits.
+//
 // Observability: GET /v1/metrics serves Prometheus text exposition
-// (request, cache, mining-job, and miner-search counters; see
-// internal/server). Logs are structured via log/slog; -log-format
+// (request, cache, mining-job, miner-search, and persistence counters;
+// see internal/server). Logs are structured via log/slog; -log-format
 // selects text or json and -log-level sets the minimum level.
 //
 // For live profiling, -pprof-addr starts a second listener serving
@@ -53,6 +66,7 @@ import (
 	"time"
 
 	"tpminer/internal/obs"
+	"tpminer/internal/persist"
 	"tpminer/internal/server"
 )
 
@@ -76,8 +90,16 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	dataDir := fs.String("data-dir", "", "directory for the dataset WAL and snapshots (empty = in-memory only)")
+	fsyncMode := fs.String("fsync", persist.FsyncAlways, "WAL fsync policy with -data-dir: always, interval, or never")
+	walMaxBytes := fs.Int64("wal-max-bytes", persist.DefaultWALMaxBytes, "WAL size that triggers snapshot + compaction")
+	inspectWAL := fs.String("inspect-wal", "", "dump the WAL/snapshot record headers in this data dir and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *inspectWAL != "" {
+		return persist.Inspect(*inspectWAL, os.Stdout)
 	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -88,12 +110,37 @@ func run(args []string) error {
 	if *noCache || budget <= 0 {
 		budget = -1
 	}
+	var pstore *persist.Store
+	if *dataDir != "" {
+		pstore, err = persist.Open(*dataDir, persist.Options{
+			FsyncMode:   *fsyncMode,
+			WALMaxBytes: *walMaxBytes,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// closePersist flushes and fsyncs the WAL and cuts a final snapshot;
+	// it must run after the HTTP drain so every acknowledged mutation is
+	// on disk before the process exits.
+	closePersist := func() {
+		if pstore == nil {
+			return
+		}
+		if err := pstore.Close(); err != nil {
+			logger.Error("persist close failed", "error", err)
+			return
+		}
+		logger.Info("persist flushed and snapshotted", "dir", *dataDir)
+	}
 	svc := server.NewWithConfig(logger, server.Config{
 		MaxConcurrentMines: *maxMines,
 		MaxMineDuration:    *mineTimeout,
 		MaxBodyBytes:       *maxBody,
 		MaxParallel:        *maxParallel,
 		CacheBudgetBytes:   budget,
+		Persist:            pstore,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -131,6 +178,7 @@ func run(args []string) error {
 	defer stop()
 	select {
 	case err := <-errc:
+		closePersist()
 		return err
 	case <-ctx.Done():
 		logger.Info("signal received, draining in-flight requests", "grace", grace.String())
@@ -140,11 +188,16 @@ func run(args []string) error {
 			pprofSrv.Close()
 		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Even a botched drain must not lose acknowledged
+			// mutations: flush the WAL before reporting the failure.
+			closePersist()
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			closePersist()
 			return err
 		}
+		closePersist()
 		logger.Info("drained, exiting")
 		return nil
 	}

@@ -1,0 +1,669 @@
+// Package persist makes tpmd's dataset store durable: an append-only
+// write-ahead log of framed, CRC32C-checksummed mutation records
+// (put/append/delete, each carrying the dataset name and the store
+// version it installed), periodic full-state snapshots, and boot-time
+// recovery that loads the newest valid snapshot and replays the WAL
+// tail.
+//
+// # Protocol
+//
+// The server's store calls LogPut/LogAppend/LogDelete *before* a
+// mutation becomes visible, so an acknowledged mutation is always in
+// the log (commit-before-visible). Each record carries the store
+// version it installs; recovery restores the version counter to the
+// maximum seen across the snapshot and the replayed tail, so (name,
+// version) cache keys and the strong ETags derived from them never
+// repeat across restarts — even when the last mutation before a crash
+// was a delete.
+//
+// # Crash tolerance
+//
+// Recovery tolerates a torn final record (the signature of a crash mid
+// write): the log is truncated at the first damaged frame and the
+// prefix is kept. A corrupt frame anywhere — bit-flipped CRC, garbled
+// varint — stops replay the same way, because framing after a bad
+// record cannot be trusted. Snapshots are written to a temp file and
+// renamed into place; a partial snapshot fails its length/CRC check and
+// recovery falls back to the next older valid one (the WAL covering it
+// is only deleted after the newer snapshot is durable, so no data is
+// lost).
+//
+// # Compaction
+//
+// When the live WAL segment grows past Options.WALMaxBytes, the store
+// cuts a snapshot of its in-memory mirror state, opens a fresh segment,
+// and deletes the old segments and snapshots the new one supersedes.
+// Close flushes, fsyncs, and cuts a final snapshot so a clean shutdown
+// restarts without any replay.
+//
+// # Durability modes
+//
+// Options.FsyncMode trades write latency for crash durability:
+// "always" fsyncs the WAL after every record (an acknowledged mutation
+// survives power loss), "interval" fsyncs on a background tick
+// (bounded-loss, Redis-AOF-everysec style), "never" leaves flushing to
+// the OS (survives process crash, not power loss).
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/obs"
+)
+
+// Fsync policy names accepted by Options.FsyncMode.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNever    = "never"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultWALMaxBytes is the live-segment size that triggers
+	// snapshot + compaction (64 MiB).
+	DefaultWALMaxBytes = 64 << 20
+	// DefaultFsyncInterval is the background fsync cadence in
+	// "interval" mode.
+	DefaultFsyncInterval = 100 * time.Millisecond
+)
+
+// Options configures a Store. The zero value selects "always" fsync
+// and the default compaction threshold.
+type Options struct {
+	// FsyncMode is "always" (default), "interval", or "never".
+	FsyncMode string
+	// FsyncInterval is the flush cadence in "interval" mode. 0 means
+	// DefaultFsyncInterval.
+	FsyncInterval time.Duration
+	// WALMaxBytes triggers snapshot + compaction when the live segment
+	// passes it. 0 means DefaultWALMaxBytes.
+	WALMaxBytes int64
+	// Logger receives recovery and compaction records; nil disables.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch o.FsyncMode {
+	case "":
+		o.FsyncMode = FsyncAlways
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return o, fmt.Errorf("persist: unknown fsync mode %q (want always, interval, or never)", o.FsyncMode)
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.WALMaxBytes <= 0 {
+		o.WALMaxBytes = DefaultWALMaxBytes
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
+	return o, nil
+}
+
+// DatasetState is one recovered dataset: the database and the store
+// version under which it was installed.
+type DatasetState struct {
+	DB      *interval.Database
+	Version uint64
+}
+
+// RecoveryStats describes what Open found on disk.
+type RecoveryStats struct {
+	// Duration is the wall time of snapshot load + WAL replay.
+	Duration time.Duration
+	// SnapshotLoaded reports whether a valid snapshot seeded the state;
+	// SnapshotVersion is its verSeq.
+	SnapshotLoaded  bool
+	SnapshotVersion uint64
+	// RecordsReplayed counts WAL records applied on top of the snapshot.
+	RecordsReplayed int
+	// Truncations counts logs cut short at a torn or corrupt frame.
+	Truncations int
+}
+
+// Metrics receives the store's operational counters; implementations
+// must be safe for concurrent use. See internal/server for the
+// tpmd_persist_* Prometheus wiring.
+type Metrics interface {
+	// WALBytes reports the live WAL segment's current size.
+	WALBytes(n int64)
+	// RecordAppended counts one record committed to the WAL.
+	RecordAppended()
+	// FsyncDone counts one fsync of the WAL file.
+	FsyncDone()
+	// SnapshotDone counts one completed snapshot and its duration.
+	SnapshotDone(d time.Duration)
+	// RecoveryDone reports the boot-time recovery outcome.
+	RecoveryDone(d time.Duration, recordsReplayed, truncations int)
+}
+
+// ErrClosed is returned by mutations on a closed Store.
+var ErrClosed = errors.New("persist: store is closed")
+
+// Store is the durability engine: one directory holding the live WAL
+// segment and the snapshots, plus an in-memory mirror of the full
+// dataset state (sharing the immutable databases, so the mirror costs
+// pointers, not copies) from which snapshots are cut.
+type Store struct {
+	dir    string
+	opt    Options
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	wal       *os.File
+	walPath   string
+	walBytes  int64
+	compactAt int64
+	dirty     bool  // bytes written since the last fsync
+	failed    error // sticky failure: set when the WAL is wedged or the store closed
+	state     map[string]DatasetState
+	verSeq    uint64
+	met       Metrics
+	recov     RecoveryStats
+
+	stopSync chan struct{} // closes the interval-mode syncer
+	syncDone chan struct{}
+}
+
+// Open recovers the state in dir (creating it if needed) and returns a
+// store ready for logging. Recovery loads the newest valid snapshot,
+// replays the WAL tail on top, truncates at the first torn or corrupt
+// frame, and keeps appending to the surviving segment.
+func Open(dir string, opt Options) (*Store, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opt:       opt,
+		logger:    opt.Logger,
+		compactAt: opt.WALMaxBytes,
+		state:     make(map[string]DatasetState),
+	}
+	start := time.Now()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.recov.Duration = time.Since(start)
+	s.logger.Info("persist recovered",
+		"dir", dir,
+		"datasets", len(s.state),
+		"version", s.verSeq,
+		"snapshot_loaded", s.recov.SnapshotLoaded,
+		"records_replayed", s.recov.RecordsReplayed,
+		"truncations", s.recov.Truncations,
+		"duration_ms", s.recov.Duration.Milliseconds())
+	if opt.FsyncMode == FsyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// Recovered returns the dataset state and version counter restored by
+// Open. The caller may take ownership of the map; the databases are
+// shared and must be treated as immutable.
+func (s *Store) Recovered() (map[string]DatasetState, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]DatasetState, len(s.state))
+	for name, ds := range s.state {
+		out[name] = ds
+	}
+	return out, s.verSeq
+}
+
+// RecoveryStats returns what Open found on disk.
+func (s *Store) RecoveryStats() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recov
+}
+
+// SetMetrics attaches the metrics sink and immediately reports the
+// recovery outcome and current WAL size, so a server wiring metrics
+// after Open still sees the boot numbers.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	if m != nil {
+		m.RecoveryDone(s.recov.Duration, s.recov.RecordsReplayed, s.recov.Truncations)
+		m.WALBytes(s.walBytes)
+	}
+}
+
+// LogPut commits a dataset replacement. db must be treated as
+// immutable from here on.
+func (s *Store) LogPut(name string, version uint64, db *interval.Database) error {
+	payload := encodeRecord(recPut, version, name, db)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	s.state[name] = DatasetState{DB: db, Version: version}
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// LogAppend commits an append of add's sequences to an existing
+// dataset. Only the increment is logged; the mirror state extends its
+// copy with shared sequence headers, exactly as the server store does.
+func (s *Store) LogAppend(name string, version uint64, add *interval.Database) error {
+	payload := encodeRecord(recAppend, version, name, add)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	s.applyAppendLocked(name, version, add)
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// LogDelete commits a dataset removal. The version still advances so
+// the counter recovers correctly even when a delete is the last record
+// before a crash.
+func (s *Store) LogDelete(name string, version uint64) error {
+	payload := encodeRecord(recDelete, version, name, nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	delete(s.state, name)
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// applyAppendLocked extends the mirror copy of a dataset with shared
+// sequence headers (the stored databases are immutable, so sequences
+// are never copied deeply).
+func (s *Store) applyAppendLocked(name string, version uint64, add *interval.Database) {
+	old, ok := s.state[name]
+	if !ok {
+		// Replaying an append whose base put was lost to a truncation:
+		// nothing to extend. The live path never hits this — the server
+		// store verifies existence before logging.
+		return
+	}
+	grown := &interval.Database{Sequences: make([]interval.Sequence, 0, len(old.DB.Sequences)+len(add.Sequences))}
+	grown.Sequences = append(grown.Sequences, old.DB.Sequences...)
+	grown.Sequences = append(grown.Sequences, add.Sequences...)
+	s.state[name] = DatasetState{DB: grown, Version: version}
+}
+
+// appendLocked writes one framed record to the live WAL segment and
+// applies the fsync policy. On a partial write it truncates back to
+// the pre-write offset; if that fails the store is wedged and every
+// further mutation errors.
+func (s *Store) appendLocked(payload []byte) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		// The frame may be half on disk; cut it off so the log never
+		// gains an interior torn record.
+		if terr := s.wal.Truncate(s.walBytes); terr != nil {
+			s.failed = fmt.Errorf("persist: WAL wedged: write failed (%v), truncate failed (%v)", err, terr)
+			return s.failed
+		}
+		if _, serr := s.wal.Seek(s.walBytes, io.SeekStart); serr != nil {
+			s.failed = fmt.Errorf("persist: WAL wedged: write failed (%v), seek failed (%v)", err, serr)
+			return s.failed
+		}
+		return fmt.Errorf("persist: WAL append: %w", err)
+	}
+	s.walBytes += int64(len(frame))
+	s.dirty = true
+	if s.opt.FsyncMode == FsyncAlways {
+		if err := s.wal.Sync(); err != nil {
+			s.failed = fmt.Errorf("persist: WAL fsync: %w", err)
+			return s.failed
+		}
+		s.dirty = false
+		if s.met != nil {
+			s.met.FsyncDone()
+		}
+	}
+	if s.met != nil {
+		s.met.RecordAppended()
+		s.met.WALBytes(s.walBytes)
+	}
+	return nil
+}
+
+// maybeCompactLocked cuts a snapshot and rotates the WAL once the live
+// segment passes the threshold. Failure is non-fatal — the record is
+// already durable in the WAL — but backs off so a persistently failing
+// snapshot is not retried on every write.
+func (s *Store) maybeCompactLocked() {
+	if s.walBytes < s.compactAt {
+		return
+	}
+	if err := s.snapshotLocked(true); err != nil {
+		s.logger.Warn("persist compaction failed; will retry later", "error", err)
+		s.compactAt = s.walBytes + s.opt.WALMaxBytes
+		return
+	}
+	s.compactAt = s.opt.WALMaxBytes
+}
+
+// Snapshot forces a snapshot + WAL rotation now. Typically only needed
+// by tests and at shutdown (Close cuts one automatically).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	return s.snapshotLocked(true)
+}
+
+// snapshotLocked writes the mirror state as a snapshot, then — when
+// rotate is set — opens a fresh WAL segment and deletes the files the
+// snapshot supersedes.
+func (s *Store) snapshotLocked(rotate bool) error {
+	start := time.Now()
+	// The snapshot is cut from the in-memory mirror and fsynced before
+	// any WAL segment is removed, so superseded records are never
+	// deleted ahead of their replacement being durable.
+	if _, err := writeSnapshotFile(s.dir, s.state, s.verSeq); err != nil {
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	if s.met != nil {
+		s.met.SnapshotDone(time.Since(start))
+	}
+	if !rotate {
+		return nil
+	}
+	if err := s.openWALLocked(s.verSeq, true); err != nil {
+		return err
+	}
+	s.removeSupersededLocked(s.verSeq)
+	s.logger.Info("persist snapshot cut", "version", s.verSeq, "datasets", len(s.state),
+		"duration_ms", time.Since(start).Milliseconds())
+	return nil
+}
+
+// openWALLocked closes the current segment (if any) and opens the
+// segment named for baseVer, truncating it when fresh is set.
+func (s *Store) openWALLocked(baseVer uint64, fresh bool) error {
+	if s.wal != nil {
+		s.wal.Sync()
+		s.wal.Close()
+		s.wal = nil
+	}
+	path := filepath.Join(s.dir, walName(baseVer))
+	flags := os.O_WRONLY | os.O_CREATE
+	if fresh {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		s.failed = fmt.Errorf("persist: open WAL: %w", err)
+		return s.failed
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		s.failed = fmt.Errorf("persist: seek WAL: %w", err)
+		return s.failed
+	}
+	s.wal, s.walPath, s.walBytes, s.dirty = f, path, size, false
+	syncDir(s.dir)
+	if s.met != nil {
+		s.met.WALBytes(s.walBytes)
+	}
+	return nil
+}
+
+// removeSupersededLocked deletes WAL segments and snapshots made
+// redundant by a durable snapshot at verSeq.
+func (s *Store) removeSupersededLocked(verSeq uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	keepSnap := snapshotName(verSeq)
+	for _, e := range entries {
+		name := e.Name()
+		if name == keepSnap {
+			continue
+		}
+		full := filepath.Join(s.dir, name)
+		if full == s.walPath {
+			continue
+		}
+		_, isSnap := parseSeqName(name, "snapshot-", ".snap")
+		_, isWAL := parseSeqName(name, "wal-", ".log")
+		if isSnap || isWAL || isTempFile(name) {
+			os.Remove(full)
+		}
+	}
+	syncDir(s.dir)
+}
+
+// isTempFile reports whether name is a leftover snapshot temp file.
+func isTempFile(name string) bool {
+	return len(name) > 4 && name[len(name)-4:] == ".tmp"
+}
+
+// syncIfDirty flushes pending WAL bytes; the interval-mode loop calls
+// it on every tick.
+func (s *Store) syncIfDirty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil || !s.dirty || s.wal == nil {
+		return
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.failed = fmt.Errorf("persist: WAL fsync: %w", err)
+		return
+	}
+	s.dirty = false
+	if s.met != nil {
+		s.met.FsyncDone()
+	}
+}
+
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opt.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-t.C:
+			s.syncIfDirty()
+		}
+	}
+}
+
+// Close flushes and fsyncs the WAL, cuts a final snapshot so the next
+// boot needs no replay, and releases the store. Mutations after Close
+// return ErrClosed.
+func (s *Store) Close() error {
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(s.failed, ErrClosed) {
+		return nil
+	}
+	var firstErr error
+	if s.wal != nil && s.failed == nil {
+		if err := s.wal.Sync(); err != nil {
+			firstErr = fmt.Errorf("persist: close fsync: %w", err)
+		} else {
+			s.dirty = false
+			if s.met != nil {
+				s.met.FsyncDone()
+			}
+			if err := s.snapshotLocked(false); err != nil {
+				firstErr = err
+			} else {
+				// The snapshot covers everything; the segments are now
+				// redundant. walPath is cleared first so the live
+				// segment is removed too.
+				path := s.walPath
+				s.walPath = ""
+				s.removeSupersededLocked(s.verSeq)
+				os.Remove(path)
+				syncDir(s.dir)
+			}
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("persist: close WAL: %w", err)
+		}
+		s.wal = nil
+	}
+	s.failed = ErrClosed
+	return firstErr
+}
+
+// ------------------------------------------------------------- recovery
+
+// recover loads the newest valid snapshot, replays the WAL tail, and
+// leaves the store appending to the surviving segment.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	type seqFile struct {
+		seq  uint64
+		name string
+	}
+	var snaps, wals []seqFile
+	for _, e := range entries {
+		if v, ok := parseSeqName(e.Name(), "snapshot-", ".snap"); ok {
+			snaps = append(snaps, seqFile{v, e.Name()})
+		}
+		if v, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, seqFile{v, e.Name()})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq }) // newest first
+	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })    // oldest first
+
+	for _, sn := range snaps {
+		state, verSeq, err := readSnapshotFile(filepath.Join(s.dir, sn.name))
+		if err != nil {
+			s.logger.Warn("persist: skipping invalid snapshot", "file", sn.name, "error", err)
+			continue
+		}
+		s.state, s.verSeq = state, verSeq
+		s.recov.SnapshotLoaded = true
+		s.recov.SnapshotVersion = verSeq
+		break
+	}
+
+	// Replay every segment in order, skipping records the snapshot
+	// already covers. A torn or corrupt frame truncates its segment and
+	// ends replay: frames after it cannot be trusted, and later
+	// segments would skip over the gap. (In practice compaction leaves
+	// a single live segment, so "later segments" only exist after an
+	// unclean shutdown mid-rotation.)
+	lastIdx := -1
+	stopped := false
+	for i, wf := range wals {
+		if stopped {
+			// Unreachable records; drop the segment so the next boot
+			// does not see a gap.
+			os.Remove(filepath.Join(s.dir, wf.name))
+			continue
+		}
+		lastIdx = i
+		path := filepath.Join(s.dir, wf.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("persist: read WAL %s: %w", wf.name, err)
+		}
+		off := 0
+		for {
+			payload, n, err := parseFrame(data[off:])
+			if err == errEndOfLog {
+				break
+			}
+			var fe *frameErr
+			if errors.As(err, &fe) {
+				s.logger.Warn("persist: truncating WAL at damaged frame",
+					"file", wf.name, "offset", off, "torn", fe.torn, "error", fe.msg)
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return fmt.Errorf("persist: truncate WAL %s: %w", wf.name, terr)
+				}
+				s.recov.Truncations++
+				stopped = true
+				break
+			}
+			rec, derr := decodeRecord(payload)
+			if derr != nil {
+				// Framing was intact but the contents are not a valid
+				// record: same treatment as a corrupt frame.
+				s.logger.Warn("persist: truncating WAL at undecodable record",
+					"file", wf.name, "offset", off, "error", derr)
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return fmt.Errorf("persist: truncate WAL %s: %w", wf.name, terr)
+				}
+				s.recov.Truncations++
+				stopped = true
+				break
+			}
+			off += n
+			if rec.version <= s.recov.SnapshotVersion && s.recov.SnapshotLoaded {
+				continue // already in the snapshot
+			}
+			s.applyRecord(rec)
+			s.recov.RecordsReplayed++
+			if rec.version > s.verSeq {
+				s.verSeq = rec.version
+			}
+		}
+	}
+
+	// Keep appending to the surviving segment, or start a fresh one.
+	if lastIdx >= 0 {
+		return s.openWALLocked(wals[lastIdx].seq, false)
+	}
+	return s.openWALLocked(s.verSeq, false)
+}
+
+// applyRecord folds one replayed record into the mirror state.
+func (s *Store) applyRecord(rec record) {
+	switch rec.typ {
+	case recPut:
+		s.state[rec.name] = DatasetState{DB: rec.db, Version: rec.version}
+	case recAppend:
+		s.applyAppendLocked(rec.name, rec.version, rec.db)
+	case recDelete:
+		delete(s.state, rec.name)
+	}
+}

@@ -1,0 +1,329 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tpminer/internal/interval"
+)
+
+// testDB builds a small database whose contents are derived from seed,
+// so different calls produce distinguishable data.
+func testDB(seed, seqs, ivs int) *interval.Database {
+	db := &interval.Database{Sequences: make([]interval.Sequence, seqs)}
+	for s := 0; s < seqs; s++ {
+		seq := interval.Sequence{ID: fmt.Sprintf("d%d-s%d", seed, s)}
+		for i := 0; i < ivs; i++ {
+			start := int64(seed + s + i)
+			seq.Intervals = append(seq.Intervals, interval.Interval{
+				Symbol: fmt.Sprintf("S%d", (seed+i)%5),
+				Start:  start,
+				End:    start + int64(i%7) + 1,
+			})
+		}
+		db.Sequences[s] = seq
+	}
+	return db
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// assertState compares a recovered state against the expected
+// name→DatasetState map, including full database contents.
+func assertState(t *testing.T, s *Store, want map[string]DatasetState, wantVer uint64) {
+	t.Helper()
+	got, ver := s.Recovered()
+	if ver != wantVer {
+		t.Errorf("recovered verSeq = %d, want %d", ver, wantVer)
+	}
+	if len(got) != len(want) {
+		t.Errorf("recovered %d datasets, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("dataset %q missing after recovery", name)
+			continue
+		}
+		if g.Version != w.Version {
+			t.Errorf("dataset %q version = %d, want %d", name, g.Version, w.Version)
+		}
+		if !reflect.DeepEqual(g.DB.Sequences, w.DB.Sequences) {
+			t.Errorf("dataset %q contents differ after recovery", name)
+		}
+	}
+}
+
+func TestRecordEncodingRoundTrip(t *testing.T) {
+	cases := []record{
+		{typ: recPut, version: 1, name: "alpha", db: testDB(1, 3, 4)},
+		{typ: recAppend, version: 9000, name: "with spaces and ünïcode", db: testDB(2, 1, 1)},
+		{typ: recDelete, version: 1 << 40, name: ""},
+		{typ: recPut, version: 7, name: "empty", db: &interval.Database{}},
+	}
+	for _, want := range cases {
+		payload := encodeRecord(want.typ, want.version, want.name, want.db)
+		got, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("decode %s: %v", want.typeName(), err)
+		}
+		if got.typ != want.typ || got.version != want.version || got.name != want.name {
+			t.Errorf("round trip %s: got %+v", want.typeName(), got)
+		}
+		if want.typ != recDelete && !reflect.DeepEqual(got.db.Sequences, want.db.Sequences) {
+			t.Errorf("round trip %s: database differs", want.typeName())
+		}
+	}
+}
+
+func TestSnapshotEncodingRoundTrip(t *testing.T) {
+	state := map[string]DatasetState{
+		"a": {DB: testDB(1, 4, 6), Version: 3},
+		"b": {DB: testDB(2, 1, 1), Version: 9},
+	}
+	payload := encodeSnapshot(state, 42)
+	got, verSeq, err := decodeSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verSeq != 42 || len(got) != 2 {
+		t.Fatalf("decoded verSeq=%d datasets=%d", verSeq, len(got))
+	}
+	for name, w := range state {
+		if !reflect.DeepEqual(got[name].DB.Sequences, w.DB.Sequences) || got[name].Version != w.Version {
+			t.Errorf("dataset %q differs after snapshot round trip", name)
+		}
+	}
+}
+
+// TestCleanRestart: a Close'd store restarts from its final snapshot
+// with zero replay.
+func TestCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	dbA, dbB := testDB(1, 3, 5), testDB(2, 2, 2)
+	if err := s.LogPut("a", 1, dbA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogPut("b", 2, dbB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogDelete("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogPut("late", 4, dbA); err == nil {
+		t.Error("mutation after Close succeeded")
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	assertState(t, s2, map[string]DatasetState{"a": {DB: dbA, Version: 1}}, 3)
+	rs := s2.RecoveryStats()
+	if !rs.SnapshotLoaded || rs.RecordsReplayed != 0 || rs.Truncations != 0 {
+		t.Errorf("clean restart stats = %+v, want snapshot-only recovery", rs)
+	}
+}
+
+// TestCrashRestart simulates kill -9: the store is abandoned without
+// Close, and a fresh Open must recover every logged mutation from the
+// WAL alone, including the version counter after a trailing delete.
+func TestCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	dbA, dbB, add := testDB(1, 3, 5), testDB(2, 2, 2), testDB(3, 1, 4)
+	if err := s.LogPut("a", 1, dbA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogPut("b", 2, dbB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogAppend("a", 3, add); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogDelete("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the crash. (fsync=always has already pushed every
+	// record to the file.)
+
+	grownA := &interval.Database{}
+	grownA.Sequences = append(grownA.Sequences, dbA.Sequences...)
+	grownA.Sequences = append(grownA.Sequences, add.Sequences...)
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	assertState(t, s2, map[string]DatasetState{"a": {DB: grownA, Version: 3}}, 4)
+	rs := s2.RecoveryStats()
+	if rs.SnapshotLoaded || rs.RecordsReplayed != 4 || rs.Truncations != 0 {
+		t.Errorf("crash restart stats = %+v, want 4 replayed from WAL only", rs)
+	}
+
+	// Versions must keep climbing from the recovered counter: a
+	// re-created "b" may never reuse version 2.
+	if err := s2.LogPut("b", 5, dbB); err != nil {
+		t.Fatal(err)
+	}
+	if _, ver := s2.Recovered(); ver != 5 {
+		t.Errorf("verSeq after post-recovery put = %d, want 5", ver)
+	}
+}
+
+// TestCompaction: once the WAL passes the threshold a snapshot is cut,
+// the log rotates, and recovery reads the snapshot, not the old log.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{WALMaxBytes: 2 << 10, FsyncMode: FsyncNever})
+	want := map[string]DatasetState{}
+	ver := uint64(0)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("ds%d", i%7)
+		db := testDB(i, 2, 8)
+		ver++
+		if err := s.LogPut(name, ver, db); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = DatasetState{DB: db, Version: ver}
+	}
+	snaps, wals := listDataFiles(t, dir)
+	if len(snaps) != 1 {
+		t.Errorf("after compaction: %d snapshots on disk (%v), want exactly 1", len(snaps), snaps)
+	}
+	if len(wals) != 1 {
+		t.Errorf("after compaction: %d WAL segments (%v), want exactly 1", len(wals), wals)
+	}
+	// Crash (no Close) and recover: snapshot + tail replay must equal
+	// the full state.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	assertState(t, s2, want, ver)
+	if rs := s2.RecoveryStats(); !rs.SnapshotLoaded {
+		t.Errorf("recovery stats %+v: expected a snapshot to be loaded", rs)
+	}
+}
+
+// TestFsyncModes: every mode accepts writes and survives a clean
+// restart; interval mode flushes on its ticker without explicit sync.
+func TestFsyncModes(t *testing.T) {
+	for _, mode := range []string{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{FsyncMode: mode, FsyncInterval: 5 * time.Millisecond})
+			db := testDB(1, 2, 3)
+			if err := s.LogPut("a", 1, db); err != nil {
+				t.Fatal(err)
+			}
+			if mode == FsyncInterval {
+				time.Sleep(30 * time.Millisecond) // let the ticker flush
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := mustOpen(t, dir, Options{})
+			defer s2.Close()
+			assertState(t, s2, map[string]DatasetState{"a": {DB: db, Version: 1}}, 1)
+		})
+	}
+}
+
+func TestOpenRejectsBadFsyncMode(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{FsyncMode: "sometimes"}); err == nil {
+		t.Fatal("bad fsync mode accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.LogPut("alpha", 1, testDB(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogDelete("alpha", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close so both the snapshot and a live WAL record
+	// survive for the inspector.
+
+	var b strings.Builder
+	if err := Inspect(dir, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"snapshot", "version=1", "wal", "delete", `dataset "alpha"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "CORRUPT") || strings.Contains(out, "TORN") {
+		t.Errorf("inspect flagged damage in a healthy dir:\n%s", out)
+	}
+
+	// Flip a payload byte in the live segment: the inspector must flag
+	// the frame and report its offset.
+	corruptLiveWAL(t, dir, frameHeaderLen+1)
+	b.Reset()
+	if err := Inspect(dir, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CORRUPT") {
+		t.Errorf("inspect did not flag the corrupt frame:\n%s", b.String())
+	}
+}
+
+// listDataFiles returns the snapshot and WAL file names in dir.
+func listDataFiles(t *testing.T, dir string) (snaps, wals []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, ok := parseSeqName(e.Name(), "snapshot-", ".snap"); ok {
+			snaps = append(snaps, e.Name())
+		}
+		if _, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, e.Name())
+		}
+	}
+	return snaps, wals
+}
+
+// corruptLiveWAL XORs the byte at off in the newest WAL segment.
+func corruptLiveWAL(t *testing.T, dir string, off int64) {
+	t.Helper()
+	_, wals := listDataFiles(t, dir)
+	if len(wals) == 0 {
+		t.Fatal("no WAL segment to corrupt")
+	}
+	path := filepath.Join(dir, wals[len(wals)-1])
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], off); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0xFF
+	if _, err := f.WriteAt(one[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

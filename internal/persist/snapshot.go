@@ -1,0 +1,180 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file format:
+//
+//	offset  size  field
+//	0       8     magic "TPMSNAP1"
+//	8       8     payload length, little-endian uint64
+//	16      4     CRC32C of the payload, little-endian
+//	20      —     payload
+//
+// The payload is:
+//
+//	uvarint  store version counter (verSeq) at snapshot time
+//	uvarint  dataset count
+//	per dataset: uvarint name length + name, uvarint version,
+//	             database encoding (see wal.go)
+//
+// Snapshots are written to a temp file, fsynced, and renamed into
+// place, so a crash mid-snapshot leaves either the previous state or a
+// *.tmp file that recovery ignores. A snapshot that fails the length or
+// CRC check (e.g. a partially copied file) is skipped in favour of an
+// older valid one.
+var snapshotMagic = [8]byte{'T', 'P', 'M', 'S', 'N', 'A', 'P', '1'}
+
+const snapshotHeaderLen = 20
+
+func snapshotName(verSeq uint64) string { return fmt.Sprintf("snapshot-%020d.snap", verSeq) }
+func walName(verSeq uint64) string      { return fmt.Sprintf("wal-%020d.log", verSeq) }
+
+// parseSeqName extracts the sequence number from a "prefix-<n>.ext"
+// data file name.
+func parseSeqName(name, prefix, ext string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	num := name[len(prefix) : len(name)-len(ext)]
+	v, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// encodeSnapshot serializes the full store state.
+func encodeSnapshot(state map[string]DatasetState, verSeq uint64) []byte {
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 1<<12)
+	buf = binary.AppendUvarint(buf, verSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		ds := state[name]
+		buf = appendString(buf, name)
+		buf = binary.AppendUvarint(buf, ds.Version)
+		buf = appendDatabase(buf, ds.DB)
+	}
+	return buf
+}
+
+// decodeSnapshot parses a snapshot payload.
+func decodeSnapshot(payload []byte) (map[string]DatasetState, uint64, error) {
+	c := &byteCursor{buf: payload}
+	verSeq, err := c.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(payload)-c.off) < n {
+		return nil, 0, fmt.Errorf("dataset count %d past payload end", n)
+	}
+	state := make(map[string]DatasetState, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := c.string()
+		if err != nil {
+			return nil, 0, err
+		}
+		ver, err := c.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		db, err := c.database()
+		if err != nil {
+			return nil, 0, err
+		}
+		state[name] = DatasetState{DB: db, Version: ver}
+	}
+	if c.off != len(payload) {
+		return nil, 0, fmt.Errorf("%d trailing bytes after snapshot", len(payload)-c.off)
+	}
+	return state, verSeq, nil
+}
+
+// writeSnapshotFile atomically writes the snapshot for verSeq into dir
+// and returns its path.
+func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64) (string, error) {
+	payload := encodeSnapshot(state, verSeq)
+	buf := make([]byte, snapshotHeaderLen, snapshotHeaderLen+len(payload))
+	copy(buf[0:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	final := filepath.Join(dir, snapshotName(verSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) (map[string]DatasetState, uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < snapshotHeaderLen {
+		return nil, 0, fmt.Errorf("truncated snapshot: %d bytes", len(buf))
+	}
+	if [8]byte(buf[0:8]) != snapshotMagic {
+		return nil, 0, fmt.Errorf("bad snapshot magic %q", buf[0:8])
+	}
+	n := binary.LittleEndian.Uint64(buf[8:16])
+	if n != uint64(len(buf)-snapshotHeaderLen) {
+		return nil, 0, fmt.Errorf("snapshot length mismatch: header says %d, file holds %d", n, len(buf)-snapshotHeaderLen)
+	}
+	payload := buf[snapshotHeaderLen:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(buf[16:20]); got != want {
+		return nil, 0, fmt.Errorf("snapshot CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return decodeSnapshot(payload)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strings"
+	"time"
 
 	"tpminer/internal/core"
 	"tpminer/internal/obs"
@@ -23,6 +24,10 @@ import (
 //   - tpmd_miner_*: the search's own counters aggregated across runs —
 //     nodes, candidate scans, the paper's P1–P4 prunings, and the
 //     work-stealing scheduler's spawn/steal/queue-depth numbers.
+//   - tpmd_persist_*: the durability subsystem — WAL size and appended
+//     records, fsyncs, snapshot count/duration, and the boot-time
+//     recovery outcome (duration, records replayed, torn-tail
+//     truncations). All zero when the server runs without -data-dir.
 type serverMetrics struct {
 	reqTotal  *obs.CounterVec // route, api, class
 	reqDur    *obs.HistogramVec
@@ -44,6 +49,35 @@ type serverMetrics struct {
 	schedSpawned  *obs.Counter
 	schedSteals   *obs.Counter
 	schedMaxQueue *obs.Gauge
+
+	persist *persistMetrics
+}
+
+// persistMetrics adapts the obs registry to the persist.Metrics
+// interface; internal/persist calls it from the WAL hot path, so every
+// method is one atomic update.
+type persistMetrics struct {
+	walBytes    *obs.Gauge
+	records     *obs.Counter
+	fsyncs      *obs.Counter
+	snapshots   *obs.Counter
+	snapDur     *obs.Histogram
+	recovDur    *obs.Histogram
+	replayed    *obs.Gauge
+	truncations *obs.Counter
+}
+
+func (m *persistMetrics) WALBytes(n int64) { m.walBytes.Set(n) }
+func (m *persistMetrics) RecordAppended()  { m.records.Inc() }
+func (m *persistMetrics) FsyncDone()       { m.fsyncs.Inc() }
+func (m *persistMetrics) SnapshotDone(d time.Duration) {
+	m.snapshots.Inc()
+	m.snapDur.Observe(d.Seconds())
+}
+func (m *persistMetrics) RecoveryDone(d time.Duration, recordsReplayed, truncations int) {
+	m.recovDur.Observe(d.Seconds())
+	m.replayed.Set(int64(recordsReplayed))
+	m.truncations.Add(uint64(truncations))
 }
 
 // cacheMetrics adapts the obs registry to the cache.Metrics interface.
@@ -112,6 +146,25 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Subtree jobs executed by a worker other than their spawner."),
 		schedMaxQueue: reg.NewGauge("tpmd_miner_sched_max_queue_depth",
 			"High-water mark of the work-stealing queue across all runs."),
+
+		persist: &persistMetrics{
+			walBytes: reg.NewGauge("tpmd_persist_wal_bytes",
+				"Size of the live write-ahead-log segment."),
+			records: reg.NewCounter("tpmd_persist_wal_records_total",
+				"Mutation records committed to the write-ahead log."),
+			fsyncs: reg.NewCounter("tpmd_persist_fsyncs_total",
+				"fsync calls issued on the write-ahead log."),
+			snapshots: reg.NewCounter("tpmd_persist_snapshots_total",
+				"Snapshots cut (compaction and shutdown)."),
+			snapDur: reg.NewHistogram("tpmd_persist_snapshot_duration_seconds",
+				"Wall time to write one snapshot.", nil),
+			recovDur: reg.NewHistogram("tpmd_persist_recovery_duration_seconds",
+				"Wall time of boot-time recovery (snapshot load + WAL replay).", nil),
+			replayed: reg.NewGauge("tpmd_persist_recovery_records_replayed",
+				"WAL records replayed on top of the snapshot at the last boot."),
+			truncations: reg.NewCounter("tpmd_persist_torn_tail_truncations_total",
+				"WAL logs cut short at a torn or corrupt frame during recovery."),
+		},
 	}
 }
 

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tpminer/internal/persist"
+)
+
+// newPersistServer opens (or reopens) a durable server over dir.
+func newPersistServer(t *testing.T, dir string) (*httptest.Server, *persist.Store) {
+	t.Helper()
+	ps, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	ts := httptest.NewServer(NewWithConfig(nil, Config{MaxConcurrentMines: 8, Persist: ps}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, ps
+}
+
+// getETag fetches a dataset summary and returns (status, ETag, body).
+func getETag(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, body := do(t, "GET", url, "", "")
+	return resp.StatusCode, resp.Header.Get("ETag"), body
+}
+
+const csvAppendBody = `sequence_id,symbol,start,end
+s9,A,50,54
+s9,C,52,56
+`
+
+// TestRestartRoundTrip is the headline durability test: PUT, append,
+// and DELETE datasets; restart the server against the same data dir
+// (clean shutdown); and check identical contents, preserved versions
+// (same strong ETags), vanished deletions, and a version counter that
+// keeps climbing so post-restart ETags never collide with pre-restart
+// ones.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts, ps := newPersistServer(t, dir)
+
+	// Build state: alpha (put + append), beta (put), doomed (put + delete).
+	if resp, body := do(t, "PUT", ts.URL+"/v1/datasets/alpha", "text/csv", csvBody); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put alpha: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do(t, "POST", ts.URL+"/v1/datasets/alpha/append", "text/csv", csvAppendBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append alpha: %d %s", resp.StatusCode, body)
+	}
+	do(t, "PUT", ts.URL+"/v1/datasets/beta", "text/csv", csvBody)
+	do(t, "PUT", ts.URL+"/v1/datasets/doomed", "text/csv", csvBody)
+	if resp, _ := do(t, "DELETE", ts.URL+"/v1/datasets/doomed", "", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete doomed: %d", resp.StatusCode)
+	}
+
+	_, alphaTag, alphaBody := getETag(t, ts.URL+"/v1/datasets/alpha")
+	_, betaTag, _ := getETag(t, ts.URL+"/v1/datasets/beta")
+	if alphaTag == "" || betaTag == "" {
+		t.Fatal("missing pre-restart ETags")
+	}
+
+	// Clean shutdown: drain, flush, final snapshot.
+	ts.Close()
+	if err := ps.Close(); err != nil {
+		t.Fatalf("persist.Close: %v", err)
+	}
+
+	ts2, ps2 := newPersistServer(t, dir)
+	defer ps2.Close()
+
+	// Contents and versions identical → identical summaries and ETags.
+	status, tag, body := getETag(t, ts2.URL+"/v1/datasets/alpha")
+	if status != http.StatusOK || body != alphaBody {
+		t.Errorf("alpha after restart: %d %q, want body %q", status, body, alphaBody)
+	}
+	if tag != alphaTag {
+		t.Errorf("alpha ETag changed across restart: %q → %q (version not preserved)", alphaTag, tag)
+	}
+	if _, tag, _ := getETag(t, ts2.URL+"/v1/datasets/beta"); tag != betaTag {
+		t.Errorf("beta ETag changed across restart: %q → %q", betaTag, tag)
+	}
+	// If-None-Match across the restart still short-circuits.
+	req, _ := http.NewRequest("GET", ts2.URL+"/v1/datasets/alpha", nil)
+	req.Header.Set("If-None-Match", alphaTag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match with pre-restart ETag: %d, want 304", resp.StatusCode)
+	}
+
+	// The deleted dataset stays deleted.
+	if status, _, _ := getETag(t, ts2.URL+"/v1/datasets/doomed"); status != http.StatusNotFound {
+		t.Errorf("doomed after restart: %d, want 404", status)
+	}
+
+	// ETags change iff the dataset is mutated.
+	if resp, _ := do(t, "POST", ts2.URL+"/v1/datasets/alpha/append", "text/csv", csvAppendBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append after restart: %d", resp.StatusCode)
+	}
+	if _, tag, _ := getETag(t, ts2.URL+"/v1/datasets/alpha"); tag == alphaTag {
+		t.Error("alpha ETag unchanged after a post-restart append")
+	}
+	if _, tag, _ := getETag(t, ts2.URL+"/v1/datasets/beta"); tag != betaTag {
+		t.Error("beta ETag changed without a mutation")
+	}
+
+	// Versions are strictly monotonic across the restart: re-creating
+	// the deleted dataset must not reuse any pre-restart version, so
+	// its ETag differs from the original "doomed" at version N.
+	doomedTags := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		do(t, "PUT", ts2.URL+"/v1/datasets/doomed", "text/csv", csvBody)
+		_, tag, _ := getETag(t, ts2.URL+"/v1/datasets/doomed")
+		if doomedTags[tag] {
+			t.Errorf("recreated dataset repeated ETag %q (version reuse)", tag)
+		}
+		doomedTags[tag] = true
+	}
+}
+
+// TestRestartAfterCrash: the same guarantees with no clean shutdown —
+// the persist store is simply abandoned, as a kill -9 would leave it.
+// Every acknowledged mutation must still be there (fsync=always), and
+// the version counter must keep climbing even though the last mutation
+// was a delete.
+func TestRestartAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newPersistServer(t, dir) // never Closed: the crash
+
+	do(t, "PUT", ts.URL+"/v1/datasets/alpha", "text/csv", csvBody)
+	do(t, "POST", ts.URL+"/v1/datasets/alpha/append", "text/csv", csvAppendBody)
+	do(t, "PUT", ts.URL+"/v1/datasets/doomed", "text/csv", csvBody)
+	_, alphaTag, alphaBody := getETag(t, ts.URL+"/v1/datasets/alpha")
+	_, doomedTag, _ := getETag(t, ts.URL+"/v1/datasets/doomed")
+	do(t, "DELETE", ts.URL+"/v1/datasets/doomed", "", "")
+	ts.Close()
+
+	ts2, ps2 := newPersistServer(t, dir)
+	defer ps2.Close()
+	status, tag, body := getETag(t, ts2.URL+"/v1/datasets/alpha")
+	if status != http.StatusOK || body != alphaBody || tag != alphaTag {
+		t.Errorf("alpha after crash: %d %q (tag %q), want body %q tag %q",
+			status, body, tag, alphaBody, alphaTag)
+	}
+	if status, _, _ := getETag(t, ts2.URL+"/v1/datasets/doomed"); status != http.StatusNotFound {
+		t.Errorf("deleted dataset resurrected after crash: %d", status)
+	}
+	// Re-create the deleted dataset: its version (hence ETag) must be
+	// new — the delete's version bump survived the crash.
+	do(t, "PUT", ts2.URL+"/v1/datasets/doomed", "text/csv", csvBody)
+	if _, tag, _ := getETag(t, ts2.URL+"/v1/datasets/doomed"); tag == doomedTag {
+		t.Errorf("recreated dataset reused pre-crash ETag %q", tag)
+	}
+}
+
+// TestRestartMineConsistency: mining the recovered dataset returns the
+// same patterns and the same mine ETag as before the restart (the
+// cache key (name, version, options) is fully reconstructed).
+func TestRestartMineConsistency(t *testing.T) {
+	dir := t.TempDir()
+	ts, ps := newPersistServer(t, dir)
+	do(t, "PUT", ts.URL+"/v1/datasets/alpha", "text/csv", csvBody)
+	mineReq := `{"min_count":2,"max_intervals":2}`
+	resp, body := do(t, "POST", ts.URL+"/v1/datasets/alpha/mine", "application/json", mineReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+	mineTag := resp.Header.Get("ETag")
+	ts.Close()
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, ps2 := newPersistServer(t, dir)
+	defer ps2.Close()
+	resp2, body2 := do(t, "POST", ts2.URL+"/v1/datasets/alpha/mine", "application/json", mineReq)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("mine after restart: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("ETag"); got != mineTag {
+		t.Errorf("mine ETag across restart: %q → %q", mineTag, got)
+	}
+	if pa, pb := patternsOf(t, body), patternsOf(t, body2); pa != pb {
+		t.Errorf("patterns differ across restart:\n%s\nvs\n%s", pa, pb)
+	}
+}
+
+// patternsOf extracts just the "patterns" array text for comparison,
+// ignoring stats (elapsed times differ run to run) and cache fields.
+func patternsOf(t *testing.T, body string) string {
+	t.Helper()
+	i := strings.Index(body, `"patterns"`)
+	j := strings.Index(body, `"stats"`)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("unexpected mine body: %s", body)
+	}
+	return body[i:j]
+}
+
+// TestPersistedMutationsSurviveManyDatasets pushes enough distinct
+// datasets through the journal to force at least one compaction, then
+// crashes and checks every summary via the API.
+func TestPersistedMutationsSurviveManyDatasets(t *testing.T) {
+	dir := t.TempDir()
+	ps, err := persist.Open(dir, persist.Options{WALMaxBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithConfig(nil, Config{MaxConcurrentMines: 8, Persist: ps}).Handler())
+	want := map[string]string{}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("ds%02d", i)
+		do(t, "PUT", ts.URL+"/v1/datasets/"+name, "text/csv", csvBody)
+		if i%3 == 0 {
+			do(t, "POST", ts.URL+"/v1/datasets/"+name+"/append", "text/csv", csvAppendBody)
+		}
+		_, _, body := getETag(t, ts.URL+"/v1/datasets/"+name)
+		want[name] = body
+	}
+	ts.Close() // crash: no ps.Close()
+
+	ts2, ps2 := newPersistServer(t, dir)
+	defer ps2.Close()
+	for name, body := range want {
+		status, _, got := getETag(t, ts2.URL+"/v1/datasets/"+name)
+		if status != http.StatusOK || got != body {
+			t.Errorf("%s after crash: %d %q, want %q", name, status, got, body)
+		}
+	}
+}

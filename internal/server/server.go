@@ -97,6 +97,7 @@ import (
 	"tpminer/internal/interval"
 	"tpminer/internal/obs"
 	"tpminer/internal/pattern"
+	"tpminer/internal/persist"
 	"tpminer/internal/rules"
 )
 
@@ -141,6 +142,14 @@ type Config struct {
 	// results. 0 means DefaultCacheBudgetBytes; a negative value
 	// disables result caching and single-flight deduplication entirely.
 	CacheBudgetBytes int64
+
+	// Persist, when non-nil, makes datasets durable: the server seeds
+	// its store from the recovered state (restoring the version counter
+	// so cache keys and ETags never repeat across restarts) and commits
+	// every mutation to the write-ahead log before making it visible.
+	// The caller owns the store's lifecycle (open it before the server,
+	// Close it after shutdown to flush and cut a final snapshot).
+	Persist *persist.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +224,17 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 	}
 	if cfg.CacheBudgetBytes > 0 {
 		s.results = cache.New(cfg.CacheBudgetBytes, met.cache)
+	}
+	if cfg.Persist != nil {
+		// Seed before attaching the journal: recovered datasets are
+		// already durable and must not be re-logged.
+		state, verSeq := cfg.Persist.Recovered()
+		for name, ds := range state {
+			s.store.load(name, ds.DB, ds.Version)
+		}
+		s.store.setVersionFloor(verSeq)
+		s.store.journal = cfg.Persist
+		cfg.Persist.SetMetrics(met.persist)
 	}
 	return s
 }
@@ -452,17 +472,6 @@ type DatasetSummary struct {
 	AvgSeqLen float64 `json:"avg_seq_len"`
 }
 
-func summarize(name string, db *interval.Database) DatasetSummary {
-	st := db.Summarize()
-	return DatasetSummary{
-		Name:      name,
-		Sequences: st.Sequences,
-		Intervals: st.Intervals,
-		Symbols:   st.Symbols,
-		AvgSeqLen: st.AvgSeqLen,
-	}
-}
-
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	out := s.store.list()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -506,7 +515,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	ver, existed := s.store.put(name, db)
+	ver, existed, sum, err := s.store.put(name, db)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
 	s.invalidateResults(name)
 	s.logger.Info("dataset stored",
 		"request_id", requestID(r), "dataset", name, "sequences", db.Len(),
@@ -516,7 +529,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	w.Header().Set("ETag", datasetETag(name, ver))
-	s.writeJSON(w, status, summarize(name, db))
+	s.writeJSON(w, status, sum)
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -526,10 +539,17 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	db, ver, found, err := s.store.append(name, add)
+	_, ver, sum, found, err := s.store.append(name, add)
 	switch {
 	case err != nil:
-		s.writeError(w, r, http.StatusBadRequest, err)
+		// Validation failures are the client's fault; journal failures
+		// are ours.
+		status := http.StatusBadRequest
+		var je *journalError
+		if errors.As(err, &je) {
+			status = http.StatusInternalServerError
+		}
+		s.writeError(w, r, status, err)
 		return
 	case !found:
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
@@ -537,12 +557,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	s.invalidateResults(name)
 	w.Header().Set("ETag", datasetETag(name, ver))
-	s.writeJSON(w, http.StatusOK, summarize(name, db))
+	s.writeJSON(w, http.StatusOK, sum)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	db, ver, ok := s.store.snapshot(name)
+	sum, ver, ok := s.store.stat(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
@@ -554,12 +574,16 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("ETag", etag)
-	s.writeJSON(w, http.StatusOK, summarize(name, db))
+	s.writeJSON(w, http.StatusOK, sum)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ok := s.store.delete(name)
+	ok, err := s.store.delete(name)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
 	s.invalidateResults(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
