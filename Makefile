@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race contract recovery verify bench bench-all
+.PHONY: build vet test race contract recovery chaos verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,20 @@ recovery:
 	$(GO) test -race ./internal/persist -run 'TestRecovery|TestCrash|TestClean'
 	$(GO) test -race ./internal/server -run 'TestRestart|TestPersisted'
 
+# Chaos gate: the randomized fault-schedule suite plus the persist
+# fault-injection tests, under the race detector. The headline test
+# draws a fresh seed each run and logs it; replay a failure exactly
+# with TPMD_CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race ./internal/server -run 'TestChaos' -count=1
+	$(GO) test -race ./internal/persist -run 'TestBootRemoves|TestWALWriteRetries|TestPermanentFailure|TestFsyncFailure|TestSnapshotFault' -count=1
+
 # The full pre-merge gate. vet and race cover every package, including
 # internal/obs and the instrumented server/scheduler paths; contract
 # keeps the README API table in lockstep with the served routes;
-# recovery re-runs the persist crash-recovery suite by name.
-verify: build vet race contract recovery
+# recovery re-runs the persist crash-recovery suite by name; chaos
+# re-rolls the randomized fault schedule with a fresh seed.
+verify: build vet race contract recovery chaos
 
 # Runs the Fig-1 workload and core micro-benchmarks and writes
 # BENCH_core.json with speedups against bench/baseline.json. Fails if

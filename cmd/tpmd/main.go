@@ -35,6 +35,18 @@
 // -inspect-wal <dir> dumps a data directory's record headers and flags
 // the first corrupt frame, then exits.
 //
+// Fault tolerance: transient journal I/O errors are retried with
+// jittered backoff; repeated or permanent failures (disk full,
+// read-only filesystem) trip a circuit breaker and the server degrades
+// to read-only — mutations get 503 "degraded" with Retry-After while
+// reads and mining keep serving — until a background probe (every
+// -probe-interval) proves the disk healthy again and restores
+// read-write automatically. -breaker-threshold tunes the trip point.
+// GET /v1/healthz stays 200 and reports the mode; GET /v1/readyz
+// returns 503 while degraded so load balancers can drain writes.
+// -fault-profile (with -fault-seed) injects persistence faults for
+// chaos drills; never use it in production.
+//
 // Observability: GET /v1/metrics serves Prometheus text exposition
 // (request, cache, mining-job, miner-search, and persistence counters;
 // see internal/server). Logs are structured via log/slog; -log-format
@@ -67,6 +79,7 @@ import (
 
 	"tpminer/internal/obs"
 	"tpminer/internal/persist"
+	"tpminer/internal/resilience"
 	"tpminer/internal/server"
 )
 
@@ -94,6 +107,10 @@ func run(args []string) error {
 	fsyncMode := fs.String("fsync", persist.FsyncAlways, "WAL fsync policy with -data-dir: always, interval, or never")
 	walMaxBytes := fs.Int64("wal-max-bytes", persist.DefaultWALMaxBytes, "WAL size that triggers snapshot + compaction")
 	inspectWAL := fs.String("inspect-wal", "", "dump the WAL/snapshot record headers in this data dir and exit")
+	probeInterval := fs.Duration("probe-interval", time.Second, "how often a degraded server probes persistence for recovery")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "weighted persistence-failure score that trips the breaker into read-only mode (0 = default)")
+	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject persistence faults, e.g. 'wal_write:eio:0.1,snapshot_sync:latency:0.5:20ms'")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the -fault-profile randomness (deterministic per seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,12 +127,23 @@ func run(args []string) error {
 	if *noCache || budget <= 0 {
 		budget = -1
 	}
+	var injector resilience.Injector
+	if *faultProfile != "" {
+		prof, err := resilience.ParseProfile(*faultProfile, *faultSeed)
+		if err != nil {
+			return fmt.Errorf("-fault-profile: %w", err)
+		}
+		injector = prof
+		logger.Warn("FAULT INJECTION ACTIVE: persistence I/O will fail on purpose; never use -fault-profile in production",
+			"profile", *faultProfile, "seed", *faultSeed)
+	}
 	var pstore *persist.Store
 	if *dataDir != "" {
 		pstore, err = persist.Open(*dataDir, persist.Options{
 			FsyncMode:   *fsyncMode,
 			WALMaxBytes: *walMaxBytes,
 			Logger:      logger,
+			Injector:    injector,
 		})
 		if err != nil {
 			return err
@@ -135,13 +163,18 @@ func run(args []string) error {
 		logger.Info("persist flushed and snapshotted", "dir", *dataDir)
 	}
 	svc := server.NewWithConfig(logger, server.Config{
-		MaxConcurrentMines: *maxMines,
-		MaxMineDuration:    *mineTimeout,
-		MaxBodyBytes:       *maxBody,
-		MaxParallel:        *maxParallel,
-		CacheBudgetBytes:   budget,
-		Persist:            pstore,
+		MaxConcurrentMines:      *maxMines,
+		MaxMineDuration:         *mineTimeout,
+		MaxBodyBytes:            *maxBody,
+		MaxParallel:             *maxParallel,
+		CacheBudgetBytes:        budget,
+		Persist:                 pstore,
+		BreakerFailureThreshold: *breakerThreshold,
+		RecoveryProbeInterval:   *probeInterval,
 	})
+	// Stop the background recovery prober before the persist store is
+	// closed underneath it.
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

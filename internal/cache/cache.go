@@ -57,6 +57,10 @@ type Metrics interface {
 	Evicted()
 	// Resident reports the current resident-byte total after a mutation.
 	Resident(bytes int64)
+	// DegradedHit counts a Hit served while the owner reported itself
+	// degraded (see Cache.SetDegraded) — the cache carrying traffic the
+	// backing store currently cannot.
+	DegradedHit()
 }
 
 type nopMetrics struct{}
@@ -66,6 +70,7 @@ func (nopMetrics) Miss()          {}
 func (nopMetrics) Coalesced()     {}
 func (nopMetrics) Evicted()       {}
 func (nopMetrics) Resident(int64) {}
+func (nopMetrics) DegradedHit()   {}
 
 // Key identifies one memoizable result. Options must be a canonical
 // encoding of every result-determining option (and nothing else, so
@@ -105,6 +110,7 @@ type Cache struct {
 	items    map[Key]*list.Element // element value: *entry
 	flights  map[Key]*flight
 	resident int64
+	degraded func() bool // nil = never degraded
 }
 
 // New creates a cache holding at most budget bytes of results (plus a
@@ -120,6 +126,17 @@ func New(budget int64, met Metrics) *Cache {
 		items:   make(map[Key]*list.Element),
 		flights: make(map[Key]*flight),
 	}
+}
+
+// SetDegraded installs a probe the cache consults on every hit: when it
+// reports true the hit is additionally counted as a DegradedHit. The
+// server wires this to its breaker so operators can see how much read
+// traffic the cache absorbed while persistence was down. fn must be safe
+// for concurrent use; nil (the default) disables the accounting.
+func (c *Cache) SetDegraded(fn func() bool) {
+	c.mu.Lock()
+	c.degraded = fn
+	c.mu.Unlock()
 }
 
 // Get returns the cached value for key, if present, marking it recently
@@ -154,8 +171,12 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func() (val any, size i
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		val := el.Value.(*entry).val
+		degraded := c.degraded
 		c.mu.Unlock()
 		c.met.Hit()
+		if degraded != nil && degraded() {
+			c.met.DegradedHit()
+		}
 		return val, Hit, nil
 	}
 	if f, ok := c.flights[key]; ok {

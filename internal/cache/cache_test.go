@@ -13,6 +13,7 @@ import (
 // countingMetrics tallies cache events for assertions.
 type countingMetrics struct {
 	hits, misses, coalesced, evicted atomic.Int64
+	degradedHits                     atomic.Int64
 	resident                         atomic.Int64
 }
 
@@ -21,6 +22,7 @@ func (m *countingMetrics) Miss()            { m.misses.Add(1) }
 func (m *countingMetrics) Coalesced()       { m.coalesced.Add(1) }
 func (m *countingMetrics) Evicted()         { m.evicted.Add(1) }
 func (m *countingMetrics) Resident(b int64) { m.resident.Store(b) }
+func (m *countingMetrics) DegradedHit()     { m.degradedHits.Add(1) }
 
 func key(ds string, ver uint64, opt string) Key {
 	return Key{Dataset: ds, Version: ver, Options: opt}
@@ -52,6 +54,40 @@ func TestHitAfterMiss(t *testing.T) {
 	}
 	if met.hits.Load() != 1 || met.misses.Load() != 1 {
 		t.Errorf("metrics: hits=%d misses=%d", met.hits.Load(), met.misses.Load())
+	}
+}
+
+// TestDegradedHitAccounting: hits served while the degraded probe
+// reports true are additionally counted as DegradedHit; hits while
+// healthy, and misses at any time, are not.
+func TestDegradedHitAccounting(t *testing.T) {
+	met := &countingMetrics{}
+	c := New(1<<20, met)
+	var degraded atomic.Bool
+	c.SetDegraded(degraded.Load)
+	k := key("d", 1, "o")
+	fill(t, c, k, "v", 10)
+
+	hit := func() {
+		t.Helper()
+		if _, outcome, err := c.Do(context.Background(), k, func() (any, int64, bool, error) {
+			return nil, 0, false, errors.New("compute ran on a hit")
+		}); err != nil || outcome != Hit {
+			t.Fatalf("outcome %v err %v, want hit", outcome, err)
+		}
+	}
+	hit() // healthy hit
+	degraded.Store(true)
+	hit() // degraded hit
+	hit() // degraded hit
+	degraded.Store(false)
+	hit() // healthy again
+
+	if got := met.hits.Load(); got != 4 {
+		t.Errorf("hits = %d, want 4", got)
+	}
+	if got := met.degradedHits.Load(); got != 2 {
+		t.Errorf("degraded hits = %d, want 2", got)
 	}
 }
 

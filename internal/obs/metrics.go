@@ -178,6 +178,41 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	return c
 }
 
+// FloatCounter is a monotonically increasing float value, for counters
+// that accumulate fractional quantities (e.g. seconds spent degraded).
+// All methods are safe for concurrent use.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v. Negative deltas are a programming error and are
+// ignored to keep the series monotone.
+func (c *FloatCounter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) expose(w io.Writer, name, labelPairs string) {
+	writeSampleLine(w, name, labelPairs, formatFloat(c.Value()))
+}
+
+// NewFloatCounter registers and returns an unlabelled float counter.
+func (r *Registry) NewFloatCounter(name, help string) *FloatCounter {
+	f := r.register(name, help, "counter", nil)
+	c := &FloatCounter{}
+	f.series[""] = c
+	return c
+}
+
 // CounterVec is a counter family partitioned by labels.
 type CounterVec struct {
 	fam *family

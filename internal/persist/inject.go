@@ -1,0 +1,82 @@
+package persist
+
+import (
+	"os"
+	"time"
+
+	"tpminer/internal/resilience"
+)
+
+// The helpers below are the persistence layer's fault-injection seams:
+// every WAL and snapshot I/O call routes through one of them, so a
+// resilience.Injector (test hook or the -fault-profile dev flag) can
+// plant errors, latency, and torn writes at exactly the points a real
+// disk would produce them. A nil injector is the production fast path —
+// one nil check per call.
+
+// injWrite writes b to f after consulting the injector for op. Injected
+// latency sleeps first; an injected error may land a partial prefix of
+// b (a torn write) before the failure is reported, mimicking a crash or
+// device error mid-write.
+func injWrite(inj resilience.Injector, f *os.File, b []byte, op resilience.Op) (int, error) {
+	if inj != nil {
+		fa := inj.Fault(op)
+		if fa.Delay > 0 {
+			time.Sleep(fa.Delay)
+		}
+		if fa.Err != nil {
+			n := 0
+			if fa.PartialFraction > 0 {
+				if cut := int(float64(len(b)) * fa.PartialFraction); cut > 0 {
+					n, _ = f.Write(b[:cut])
+				}
+			}
+			return n, fa.Err
+		}
+	}
+	return f.Write(b)
+}
+
+// injSync fsyncs f after consulting the injector for op.
+func injSync(inj resilience.Injector, f *os.File, op resilience.Op) error {
+	if inj != nil {
+		fa := inj.Fault(op)
+		if fa.Delay > 0 {
+			time.Sleep(fa.Delay)
+		}
+		if fa.Err != nil {
+			return fa.Err
+		}
+	}
+	return f.Sync()
+}
+
+// injRename renames a snapshot temp file into place after consulting
+// the injector for OpSnapshotRename.
+func injRename(inj resilience.Injector, oldpath, newpath string) error {
+	if inj != nil {
+		fa := inj.Fault(resilience.OpSnapshotRename)
+		if fa.Delay > 0 {
+			time.Sleep(fa.Delay)
+		}
+		if fa.Err != nil {
+			return fa.Err
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// injOpenFault consults the injector for OpWALOpen before a segment
+// open; a non-nil return is the injected failure.
+func injOpenFault(inj resilience.Injector) error {
+	if inj != nil {
+		fa := inj.Fault(resilience.OpWALOpen)
+		if fa.Delay > 0 {
+			time.Sleep(fa.Delay)
+		}
+		if fa.Err != nil {
+			return fa.Err
+		}
+	}
+	return nil
+}

@@ -58,6 +58,7 @@ import (
 
 	"tpminer/internal/interval"
 	"tpminer/internal/obs"
+	"tpminer/internal/resilience"
 )
 
 // Fsync policy names accepted by Options.FsyncMode.
@@ -90,6 +91,18 @@ type Options struct {
 	WALMaxBytes int64
 	// Logger receives recovery and compaction records; nil disables.
 	Logger *slog.Logger
+	// Injector, when non-nil, is consulted before every WAL and
+	// snapshot I/O operation so tests and the -fault-profile dev flag
+	// can plant errors, latency, and torn writes. nil (the production
+	// default) disables injection.
+	Injector resilience.Injector
+	// Retry governs how transient I/O failures on WAL appends and
+	// snapshot writes are retried. The zero value selects the
+	// resilience defaults (3 attempts, 5ms..80ms jittered backoff).
+	// Fsyncs are deliberately never retried: after one failed fsync the
+	// kernel may already have dropped the dirty pages, so a passing
+	// retry proves nothing (the record is rolled back instead).
+	Retry resilience.RetryPolicy
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -131,6 +144,9 @@ type RecoveryStats struct {
 	RecordsReplayed int
 	// Truncations counts logs cut short at a torn or corrupt frame.
 	Truncations int
+	// TempFilesRemoved counts orphaned snapshot temp files (left by a
+	// compaction that died mid-write) deleted during the boot scan.
+	TempFilesRemoved int
 }
 
 // Metrics receives the store's operational counters; implementations
@@ -147,6 +163,8 @@ type Metrics interface {
 	SnapshotDone(d time.Duration)
 	// RecoveryDone reports the boot-time recovery outcome.
 	RecoveryDone(d time.Duration, recordsReplayed, truncations int)
+	// RetryDone counts one retried I/O attempt on the named operation.
+	RetryDone(op string)
 }
 
 // ErrClosed is returned by mutations on a closed Store.
@@ -315,44 +333,99 @@ func (s *Store) applyAppendLocked(name string, version uint64, add *interval.Dat
 }
 
 // appendLocked writes one framed record to the live WAL segment and
-// applies the fsync policy. On a partial write it truncates back to
-// the pre-write offset; if that fails the store is wedged and every
-// further mutation errors.
+// applies the fsync policy. Transient write failures are retried under
+// the store's retry policy, with the partial frame rolled back before
+// each retry so the log never gains an interior torn record. A failed
+// fsync is never retried — after one failure the kernel may already
+// have dropped the dirty pages, so a passing retry proves nothing
+// (the fsyncgate lesson); the record is rolled back and the mutation
+// rejected instead, leaving recovery to the caller's probe. Only a
+// failed rollback wedges the store (sticky failure): the log tail is
+// then in an unknown state and no further append can be trusted.
 func (s *Store) appendLocked(payload []byte) error {
 	if s.failed != nil {
 		return s.failed
 	}
+	if s.wal == nil {
+		return errors.New("persist: WAL not open")
+	}
 	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
-	if _, err := s.wal.Write(frame); err != nil {
-		// The frame may be half on disk; cut it off so the log never
-		// gains an interior torn record.
-		if terr := s.wal.Truncate(s.walBytes); terr != nil {
-			s.failed = fmt.Errorf("persist: WAL wedged: write failed (%v), truncate failed (%v)", err, terr)
+	write := func() error {
+		if s.failed != nil {
 			return s.failed
 		}
-		if _, serr := s.wal.Seek(s.walBytes, io.SeekStart); serr != nil {
-			s.failed = fmt.Errorf("persist: WAL wedged: write failed (%v), seek failed (%v)", err, serr)
+		_, err := injWrite(s.opt.Injector, s.wal, frame, resilience.OpWALWrite)
+		if err == nil {
+			return nil
+		}
+		// The frame may be half on disk; cut it off so a retry starts
+		// from a clean tail.
+		if werr := s.rollbackTailLocked(err); werr != nil {
+			return werr
+		}
+		return err
+	}
+	if err := s.retryLocked(resilience.OpWALWrite, write); err != nil {
+		if s.failed != nil {
 			return s.failed
 		}
 		return fmt.Errorf("persist: WAL append: %w", err)
 	}
-	s.walBytes += int64(len(frame))
-	s.dirty = true
 	if s.opt.FsyncMode == FsyncAlways {
-		if err := s.wal.Sync(); err != nil {
-			s.failed = fmt.Errorf("persist: WAL fsync: %w", err)
-			return s.failed
+		if err := injSync(s.opt.Injector, s.wal, resilience.OpWALSync); err != nil {
+			// Roll the unacknowledged record back so it can never
+			// resurrect on replay after the caller was told it failed.
+			if werr := s.rollbackTailLocked(err); werr != nil {
+				return werr
+			}
+			return fmt.Errorf("persist: WAL fsync: %w", err)
 		}
 		s.dirty = false
 		if s.met != nil {
 			s.met.FsyncDone()
 		}
+	} else {
+		s.dirty = true
 	}
+	s.walBytes += int64(len(frame))
 	if s.met != nil {
 		s.met.RecordAppended()
 		s.met.WALBytes(s.walBytes)
 	}
 	return nil
+}
+
+// rollbackTailLocked truncates the WAL back to the last committed
+// record (s.walBytes) after a failed write or fsync. cause is the I/O
+// error that forced the rollback. If the rollback itself fails the
+// store wedges — the sticky failure is tagged permanent so no layer
+// above retries against a log tail in an unknown state.
+func (s *Store) rollbackTailLocked(cause error) error {
+	if terr := s.wal.Truncate(s.walBytes); terr != nil {
+		s.failed = fmt.Errorf("persist: WAL wedged (write failed: %v; truncate failed: %v): %w",
+			cause, terr, resilience.ErrPermanent)
+		return s.failed
+	}
+	if _, serr := s.wal.Seek(s.walBytes, io.SeekStart); serr != nil {
+		s.failed = fmt.Errorf("persist: WAL wedged (write failed: %v; seek failed: %v): %w",
+			cause, serr, resilience.ErrPermanent)
+		return s.failed
+	}
+	return nil
+}
+
+// retryLocked runs op under the store's retry policy, logging and
+// counting every retried attempt. Backoff sleeps hold the store lock —
+// acceptable because the WAL is strictly ordered, so no other mutation
+// could make progress anyway, and the capped backoff bounds the stall.
+func (s *Store) retryLocked(op resilience.Op, f func() error) error {
+	return s.opt.Retry.Do(f, func(err error, attempt int) {
+		s.logger.Warn("persist: retrying after transient failure",
+			"op", string(op), "attempt", attempt, "error", err)
+		if s.met != nil {
+			s.met.RetryDone(string(op))
+		}
+	})
 }
 
 // maybeCompactLocked cuts a snapshot and rotates the WAL once the live
@@ -382,6 +455,36 @@ func (s *Store) Snapshot() error {
 	return s.snapshotLocked(true)
 }
 
+// Probe attempts to restore a store whose write path has been failing
+// — the recovery path the server's circuit breaker drives while in
+// degraded mode. It clears any sticky failure and re-journals the full
+// in-memory mirror: a fresh snapshot (the mirror always equals the
+// acknowledged visible state, because mutations commit here before
+// becoming visible), a fresh WAL segment, and removal of everything
+// superseded. On failure the prior sticky failure (if any) is restored
+// so the store stays firmly wedged rather than half-open. A closed
+// store reports ErrClosed.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(s.failed, ErrClosed) {
+		return ErrClosed
+	}
+	prevFailed := s.failed
+	s.failed = nil
+	if err := s.snapshotLocked(true); err != nil {
+		// snapshotLocked may itself have set a fresh sticky failure
+		// (e.g. the WAL rotation failed); keep the newer diagnosis.
+		if s.failed == nil {
+			s.failed = prevFailed
+		}
+		return err
+	}
+	s.logger.Info("persist probe succeeded; write path restored",
+		"version", s.verSeq, "datasets", len(s.state))
+	return nil
+}
+
 // snapshotLocked writes the mirror state as a snapshot, then — when
 // rotate is set — opens a fresh WAL segment and deletes the files the
 // snapshot supersedes.
@@ -389,8 +492,14 @@ func (s *Store) snapshotLocked(rotate bool) error {
 	start := time.Now()
 	// The snapshot is cut from the in-memory mirror and fsynced before
 	// any WAL segment is removed, so superseded records are never
-	// deleted ahead of their replacement being durable.
-	if _, err := writeSnapshotFile(s.dir, s.state, s.verSeq); err != nil {
+	// deleted ahead of their replacement being durable. Transient write
+	// failures retry; writeSnapshotFile removes its temp file on every
+	// failure, so each attempt starts clean.
+	err := s.retryLocked(resilience.OpSnapshotWrite, func() error {
+		_, werr := writeSnapshotFile(s.dir, s.state, s.verSeq, s.opt.Injector)
+		return werr
+	})
+	if err != nil {
 		return fmt.Errorf("persist: snapshot: %w", err)
 	}
 	if s.met != nil {
@@ -420,6 +529,10 @@ func (s *Store) openWALLocked(baseVer uint64, fresh bool) error {
 	flags := os.O_WRONLY | os.O_CREATE
 	if fresh {
 		flags |= os.O_TRUNC
+	}
+	if ferr := injOpenFault(s.opt.Injector); ferr != nil {
+		s.failed = fmt.Errorf("persist: open WAL: %w", ferr)
+		return s.failed
 	}
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
@@ -479,7 +592,10 @@ func (s *Store) syncIfDirty() {
 	if s.failed != nil || !s.dirty || s.wal == nil {
 		return
 	}
-	if err := s.wal.Sync(); err != nil {
+	if err := injSync(s.opt.Injector, s.wal, resilience.OpWALSync); err != nil {
+		// The already-acknowledged dirty records may or may not be on
+		// the platter (interval mode accepts bounded loss); sticky-fail
+		// so the caller's recovery probe re-journals the full state.
 		s.failed = fmt.Errorf("persist: WAL fsync: %w", err)
 		return
 	}
@@ -569,6 +685,16 @@ func (s *Store) recover() error {
 		}
 		if v, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
 			wals = append(wals, seqFile{v, e.Name()})
+		}
+		if isTempFile(e.Name()) {
+			// A compaction that died mid-write leaves its snapshot temp
+			// file behind; without cleanup they accumulate forever. The
+			// rename never happened, so the file is covered by the live
+			// WAL and safe to drop.
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err == nil {
+				s.recov.TempFilesRemoved++
+				s.logger.Info("persist: removed orphaned snapshot temp file", "file", e.Name())
+			}
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq }) // newest first

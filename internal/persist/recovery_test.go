@@ -133,7 +133,7 @@ func TestRecoveryPartialSnapshot(t *testing.T) {
 	full := filepath.Join(dir, snapshotName(99))
 	if _, err := writeSnapshotFile(dir, map[string]DatasetState{
 		"bogus": {DB: testDB(9, 4, 4), Version: 98},
-	}, 99); err != nil {
+	}, 99, nil); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(full)

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tpminer/internal/resilience"
 )
 
 // Snapshot file format:
@@ -108,8 +110,12 @@ func decodeSnapshot(payload []byte) (map[string]DatasetState, uint64, error) {
 }
 
 // writeSnapshotFile atomically writes the snapshot for verSeq into dir
-// and returns its path.
-func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64) (string, error) {
+// and returns its path. inj (nil = none) is consulted before the write,
+// fsync, and rename, so fault injection covers every step of the
+// temp-write-rename dance; the temp file is removed on every failure
+// path, so a failed attempt leaves nothing behind for retries or boot
+// cleanup to trip over.
+func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64, inj resilience.Injector) (string, error) {
 	payload := encodeSnapshot(state, verSeq)
 	buf := make([]byte, snapshotHeaderLen, snapshotHeaderLen+len(payload))
 	copy(buf[0:8], snapshotMagic[:])
@@ -123,12 +129,12 @@ func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64)
 	if err != nil {
 		return "", err
 	}
-	if _, err := f.Write(buf); err != nil {
+	if _, err := injWrite(inj, f, buf, resilience.OpSnapshotWrite); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return "", err
 	}
-	if err := f.Sync(); err != nil {
+	if err := injSync(inj, f, resilience.OpSnapshotSync); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return "", err
@@ -137,7 +143,7 @@ func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64)
 		os.Remove(tmp)
 		return "", err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := injRename(inj, tmp, final); err != nil {
 		os.Remove(tmp)
 		return "", err
 	}

@@ -1,0 +1,129 @@
+package resilience
+
+import "sync"
+
+// BreakerState is the circuit breaker's position. The numeric values
+// are stable — they are exported as the tpmd_resilience_breaker_state
+// gauge.
+type BreakerState int32
+
+const (
+	// BreakerClosed: normal operation, requests flow.
+	BreakerClosed BreakerState = 0
+	// BreakerOpen: tripped; Allow refuses until a probe succeeds.
+	BreakerOpen BreakerState = 1
+	// BreakerHalfOpen: a probe is in flight deciding open vs closed.
+	BreakerHalfOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// DefaultBreakerThreshold is the failure score that trips the breaker.
+const DefaultBreakerThreshold = 3
+
+// Breaker is a circuit breaker over an unreliable dependency. Failures
+// accumulate a score — permanent errors (disk full) weigh 2, transient
+// ones 1 — and any success resets it; when the score reaches the
+// threshold the breaker opens and Allow refuses work until a probe
+// (BeginProbe/ProbeResult, driven by the owner's recovery loop)
+// succeeds. Probing uses the half-open state, so regular traffic never
+// races a probe: Allow stays false until the probe closes the breaker.
+type Breaker struct {
+	threshold int
+
+	mu    sync.Mutex
+	state BreakerState
+	score int
+}
+
+// NewBreaker creates a closed breaker tripping at threshold (<= 0
+// selects DefaultBreakerThreshold).
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	return &Breaker{threshold: threshold}
+}
+
+// Allow reports whether a request may proceed. Only a closed breaker
+// admits work; open and half-open both refuse (the probe path goes
+// through the owner, not through Allow).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// Success records a successful operation, clearing the failure score.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.score = 0
+}
+
+// Failure records a failed operation; permanent failures count double.
+// It returns true when this failure tripped the breaker open (the
+// caller starts its recovery probe on that edge).
+func (b *Breaker) Failure(permanent bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		return false
+	}
+	if permanent {
+		b.score += 2
+	} else {
+		b.score++
+	}
+	if b.score >= b.threshold {
+		b.state = BreakerOpen
+		return true
+	}
+	return false
+}
+
+// BeginProbe moves an open breaker to half-open for one probe attempt.
+// It reports whether the probe may run (false when the breaker was not
+// open — e.g. already closed by a concurrent probe).
+func (b *Breaker) BeginProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// ProbeResult resolves a half-open probe: success closes the breaker
+// and clears the score, failure re-opens it.
+func (b *Breaker) ProbeResult(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.score = 0
+	} else {
+		b.state = BreakerOpen
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Op names one injectable I/O operation inside the persistence layer.
+type Op string
+
+// The injection points internal/persist consults.
+const (
+	OpWALWrite       Op = "wal_write"
+	OpWALSync        Op = "wal_sync"
+	OpWALOpen        Op = "wal_open"
+	OpSnapshotWrite  Op = "snapshot_write"
+	OpSnapshotSync   Op = "snapshot_sync"
+	OpSnapshotRename Op = "snapshot_rename"
+)
+
+// OpAll in a profile rule matches every operation.
+const OpAll Op = "all"
+
+// Fault is one injected failure decision. The zero value means "no
+// fault, proceed normally".
+type Fault struct {
+	// Err, when non-nil, is returned by the operation instead of (or,
+	// for partial writes, after) performing it.
+	Err error
+	// Delay is slept before the operation runs — injected latency. It
+	// applies with or without Err.
+	Delay time.Duration
+	// PartialFraction, in (0,1), makes a faulted write first write that
+	// fraction of its bytes before reporting Err — a torn write. Only
+	// meaningful on write operations with Err set.
+	PartialFraction float64
+}
+
+// Injector decides, per operation, whether to inject a fault.
+// Implementations must be safe for concurrent use. A nil Injector in
+// persist.Options disables injection entirely (the production default).
+type Injector interface {
+	Fault(op Op) Fault
+}
+
+// FaultRule is one probabilistic rule in a Profile.
+type FaultRule struct {
+	// Prob is the chance in [0,1] that the rule fires on a matching op.
+	Prob float64
+	// Err is the error to inject when the rule fires; nil makes the
+	// rule latency-only.
+	Err error
+	// Delay is injected latency when the rule fires.
+	Delay time.Duration
+	// Partial makes a firing write rule tear the write (a random
+	// nonzero prefix lands before Err is reported).
+	Partial bool
+}
+
+// Profile is a seeded, probabilistic Injector: a set of rules per
+// operation, each firing with its own probability from one deterministic
+// random stream. The same seed replays the same fault schedule for the
+// same operation sequence — the property the chaos suite's
+// seed-on-failure reproduction relies on.
+type Profile struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[Op][]FaultRule
+}
+
+// NewProfile creates an empty profile drawing from seed.
+func NewProfile(seed int64) *Profile {
+	return &Profile{rng: rand.New(rand.NewSource(seed)), rules: make(map[Op][]FaultRule)}
+}
+
+// Add appends a rule for op (OpAll matches every operation).
+func (p *Profile) Add(op Op, r FaultRule) *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules[op] = append(p.rules[op], r)
+	return p
+}
+
+// Fault rolls each matching rule in order and returns the first that
+// fires, folding latency-only rules into the eventual decision.
+func (p *Profile) Fault(op Op) Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out Fault
+	for _, r := range append(p.rules[op], p.rules[OpAll]...) {
+		if p.rng.Float64() >= r.Prob {
+			continue
+		}
+		out.Delay += r.Delay
+		if r.Err != nil && out.Err == nil {
+			out.Err = r.Err
+			if r.Partial {
+				// A torn write lands at least something and never the
+				// whole buffer.
+				out.PartialFraction = 0.1 + 0.8*p.rng.Float64()
+			}
+		}
+	}
+	return out
+}
+
+// Toggle gates an inner injector behind an atomic on/off switch, so a
+// chaos test can open and close fault windows around a shared store
+// without rebuilding it. It starts off.
+type Toggle struct {
+	inner Injector
+	on    atomic.Bool
+}
+
+// NewToggle wraps inner, initially disabled.
+func NewToggle(inner Injector) *Toggle { return &Toggle{inner: inner} }
+
+// Set enables or disables injection.
+func (t *Toggle) Set(on bool) { t.on.Store(on) }
+
+// Fault consults the inner injector only while enabled.
+func (t *Toggle) Fault(op Op) Fault {
+	if !t.on.Load() {
+		return Fault{}
+	}
+	return t.inner.Fault(op)
+}
+
+// ParseProfile builds a Profile from the -fault-profile flag syntax:
+// comma-separated rules of the form
+//
+//	op:kind:prob[:arg]
+//
+// where op is one of wal_write, wal_sync, wal_open, snapshot_write,
+// snapshot_sync, snapshot_rename, or all; kind is eio, enospc, timeout,
+// partial (a torn EIO write), or latency (arg = a Go duration, e.g.
+// 20ms); and prob is the per-operation firing probability in [0,1].
+// Example:
+//
+//	wal_write:eio:0.05,wal_sync:latency:0.5:10ms,snapshot_write:enospc:0.01
+func ParseProfile(spec string, seed int64) (*Profile, error) {
+	p := NewProfile(seed)
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("resilience: fault rule %q: want op:kind:prob[:arg]", raw)
+		}
+		op := Op(parts[0])
+		switch op {
+		case OpWALWrite, OpWALSync, OpWALOpen, OpSnapshotWrite, OpSnapshotSync, OpSnapshotRename, OpAll:
+		default:
+			return nil, fmt.Errorf("resilience: fault rule %q: unknown op %q", raw, parts[0])
+		}
+		prob, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("resilience: fault rule %q: probability %q not in [0,1]", raw, parts[2])
+		}
+		rule := FaultRule{Prob: prob}
+		switch parts[1] {
+		case "eio":
+			rule.Err = fmt.Errorf("injected: %w", syscall.EIO)
+		case "enospc":
+			rule.Err = fmt.Errorf("injected: %w", syscall.ENOSPC)
+		case "timeout":
+			rule.Err = fmt.Errorf("injected: %w", os.ErrDeadlineExceeded)
+		case "partial":
+			rule.Err = fmt.Errorf("injected torn write: %w", syscall.EIO)
+			rule.Partial = true
+		case "latency":
+			if len(parts) < 4 {
+				return nil, fmt.Errorf("resilience: fault rule %q: latency needs a duration arg", raw)
+			}
+			d, err := time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("resilience: fault rule %q: bad duration: %v", raw, err)
+			}
+			rule.Delay = d
+		default:
+			return nil, fmt.Errorf("resilience: fault rule %q: unknown kind %q (want eio, enospc, timeout, partial, latency)", raw, parts[1])
+		}
+		p.Add(op, rule)
+	}
+	return p, nil
+}

@@ -42,10 +42,12 @@ func TestMineBackpressure429(t *testing.T) {
 	s, ts := newHardenedServer(t, Config{MaxConcurrentMines: 1})
 	do(t, "PUT", ts.URL+"/datasets/demo", "text/csv", csvBody)
 
-	// Occupy the only mining slot.
+	// Occupy the only mining slot. The tight timeout_ms keeps the
+	// deadline-aware admission from parking the request: with ~no
+	// deadline left it is shed immediately.
 	s.mineSem <- struct{}{}
 	resp, body := do(t, "POST", ts.URL+"/datasets/demo/mine", "application/json",
-		`{"min_count":2}`)
+		`{"min_count":2,"timeout_ms":1}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("busy mine: %d %q, want 429", resp.StatusCode, body)
 	}
@@ -62,7 +64,7 @@ func TestMineBackpressure429(t *testing.T) {
 
 	// The rules endpoint shares the semaphore.
 	resp, _ = do(t, "POST", ts.URL+"/datasets/demo/rules", "application/json",
-		`{"min_count":2}`)
+		`{"min_count":2,"timeout_ms":1}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("busy rules: %d, want 429", resp.StatusCode)
 	}

@@ -28,6 +28,10 @@ import (
 //     records, fsyncs, snapshot count/duration, and the boot-time
 //     recovery outcome (duration, records replayed, torn-tail
 //     truncations). All zero when the server runs without -data-dir.
+//   - tpmd_resilience_*: the fault-handling layer — persistence retries
+//     by operation, circuit-breaker state/trips, recovery probes by
+//     outcome, requests shed by deadline-aware admission, and total
+//     seconds spent in read-only degraded mode.
 type serverMetrics struct {
 	reqTotal  *obs.CounterVec // route, api, class
 	reqDur    *obs.HistogramVec
@@ -50,7 +54,19 @@ type serverMetrics struct {
 	schedSteals   *obs.Counter
 	schedMaxQueue *obs.Gauge
 
-	persist *persistMetrics
+	persist    *persistMetrics
+	resilience *resilienceMetrics
+}
+
+// resilienceMetrics covers the fault-handling layer: retrying persistence
+// I/O, the circuit breaker guarding it, and the admission controller.
+type resilienceMetrics struct {
+	retries         *obs.CounterVec // op
+	breakerState    *obs.Gauge      // 0 closed, 1 open, 2 half-open
+	breakerTrips    *obs.Counter
+	probes          *obs.CounterVec // outcome: ok, fail
+	shed            *obs.Counter
+	degradedSeconds *obs.FloatCounter
 }
 
 // persistMetrics adapts the obs registry to the persist.Metrics
@@ -65,6 +81,7 @@ type persistMetrics struct {
 	recovDur    *obs.Histogram
 	replayed    *obs.Gauge
 	truncations *obs.Counter
+	retries     *obs.CounterVec // shared with resilienceMetrics.retries
 }
 
 func (m *persistMetrics) WALBytes(n int64) { m.walBytes.Set(n) }
@@ -79,14 +96,16 @@ func (m *persistMetrics) RecoveryDone(d time.Duration, recordsReplayed, truncati
 	m.replayed.Set(int64(recordsReplayed))
 	m.truncations.Add(uint64(truncations))
 }
+func (m *persistMetrics) RetryDone(op string) { m.retries.With(op).Inc() }
 
 // cacheMetrics adapts the obs registry to the cache.Metrics interface.
 type cacheMetrics struct {
-	hits      *obs.Counter
-	misses    *obs.Counter
-	coalesced *obs.Counter
-	evictions *obs.Counter
-	resident  *obs.Gauge
+	hits         *obs.Counter
+	misses       *obs.Counter
+	coalesced    *obs.Counter
+	evictions    *obs.Counter
+	resident     *obs.Gauge
+	degradedHits *obs.Counter
 }
 
 func (m *cacheMetrics) Hit()             { m.hits.Inc() }
@@ -94,9 +113,10 @@ func (m *cacheMetrics) Miss()            { m.misses.Inc() }
 func (m *cacheMetrics) Coalesced()       { m.coalesced.Inc() }
 func (m *cacheMetrics) Evicted()         { m.evictions.Inc() }
 func (m *cacheMetrics) Resident(b int64) { m.resident.Set(b) }
+func (m *cacheMetrics) DegradedHit()     { m.degradedHits.Inc() }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
-	return &serverMetrics{
+	m := &serverMetrics{
 		reqTotal: reg.NewCounterVec("tpmd_http_requests_total",
 			"HTTP requests served, by route, API version, and status class.", "route", "api", "class"),
 		reqDur: reg.NewHistogramVec("tpmd_http_request_duration_seconds",
@@ -119,6 +139,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 				"Result-cache entries evicted to stay within the byte budget."),
 			resident: reg.NewGauge("tpmd_cache_resident_bytes",
 				"Approximate bytes of mine/rules results currently cached."),
+			degradedHits: reg.NewCounter("tpmd_cache_degraded_hits_total",
+				"Cache hits served while persistence was degraded (read-only mode)."),
 		},
 
 		mineRuns: reg.NewCounterVec("tpmd_mine_runs_total",
@@ -165,7 +187,26 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			truncations: reg.NewCounter("tpmd_persist_torn_tail_truncations_total",
 				"WAL logs cut short at a torn or corrupt frame during recovery."),
 		},
+
+		resilience: &resilienceMetrics{
+			retries: reg.NewCounterVec("tpmd_resilience_retries_total",
+				"Persistence I/O retries after a transient failure, by operation.", "op"),
+			breakerState: reg.NewGauge("tpmd_resilience_breaker_state",
+				"Persistence circuit-breaker state: 0 closed (healthy), 1 open (degraded), 2 half-open (probing)."),
+			breakerTrips: reg.NewCounter("tpmd_resilience_breaker_trips_total",
+				"Times the persistence circuit breaker tripped open, entering read-only degraded mode."),
+			probes: reg.NewCounterVec("tpmd_resilience_probes_total",
+				"Background recovery probes while degraded, by outcome (ok, fail).", "outcome"),
+			shed: reg.NewCounter("tpmd_resilience_shed_total",
+				"Mine/rules requests shed by deadline-aware admission: their deadline would expire before a slot could free up."),
+			degradedSeconds: reg.NewFloatCounter("tpmd_resilience_degraded_seconds_total",
+				"Total seconds spent in read-only degraded mode (breaker open or probing)."),
+		},
 	}
+	// internal/persist reports retries through the persist.Metrics
+	// interface, but the series lives in the resilience family.
+	m.persist.retries = m.resilience.retries
+	return m
 }
 
 // recordMinerStats folds one finished run's search counters into the
@@ -199,7 +240,7 @@ func apiLabel(r *http.Request) string {
 func routeLabel(r *http.Request) string {
 	p := strings.TrimPrefix(r.URL.Path, "/v1")
 	switch p {
-	case "/healthz", "/metrics", "/datasets":
+	case "/healthz", "/readyz", "/metrics", "/datasets":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/datasets/"); ok {

@@ -173,6 +173,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`tpmd_miner_nodes_total`,
 		`tpmd_miner_pruned_total{technique="p1"}`,
 		`tpmd_http_requests_in_flight`,
+		`tpmd_cache_degraded_hits_total`,
+		`tpmd_resilience_breaker_state`,
+		`tpmd_resilience_breaker_trips_total`,
+		`tpmd_resilience_shed_total`,
+		`tpmd_resilience_degraded_seconds_total`,
 	} {
 		if _, ok := first[want]; !ok {
 			t.Errorf("metrics missing sample %s", want)
@@ -220,8 +225,9 @@ func TestRetryAfterDerived(t *testing.T) {
 
 	s.mineSem <- struct{}{} // occupy the only slot
 	// Different options from the seeding mines, so this cannot be served
-	// from the result cache and must contend for the slot.
-	resp, _ := do(t, "POST", ts.URL+"/datasets/r/mine", "application/json", `{"min_count":1}`)
+	// from the result cache and must contend for the slot; the tight
+	// timeout_ms makes deadline-aware admission shed it immediately.
+	resp, _ := do(t, "POST", ts.URL+"/datasets/r/mine", "application/json", `{"min_count":1,"timeout_ms":1}`)
 	<-s.mineSem
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("busy mine: %d, want 429", resp.StatusCode)

@@ -10,7 +10,8 @@
 // true" header and a Link to their /v1 successor, and keep the legacy
 // "elapsed" stats field that /v1 drops). JSON in/out unless noted:
 //
-//	GET    /v1/healthz                      liveness
+//	GET    /v1/healthz                      liveness (200 even when degraded)
+//	GET    /v1/readyz                       readiness (503 while degraded)
 //	GET    /v1/metrics                      Prometheus text exposition
 //	GET    /v1/datasets                     list datasets with summaries
 //	PUT    /v1/datasets/{name}              create/replace; body is csv,
@@ -49,14 +50,29 @@
 // generated), echoed in the response header, error bodies, and logs. A
 // panic anywhere below the middleware becomes a structured 500 instead
 // of a dropped connection. Mining work is bounded three ways: a
-// semaphore caps concurrent mining jobs (excess requests get 429 with
-// Retry-After), every job runs under a context deadline (server ceiling,
-// optionally lowered per request via timeout_ms) and aborts with 504,
-// and requests may trade completeness for latency with time_budget_ms /
-// max_patterns, which return partial results flagged truncated.
-// Oversized bodies are rejected with 413. Request fields are validated
-// up front: negative budgets, limits, or worker counts are rejected with
-// 400 before a mining slot is claimed.
+// semaphore caps concurrent mining jobs with deadline-aware admission
+// (a request parks only while a slot could still free up before its
+// deadline and is shed with 429 + Retry-After otherwise), every job
+// runs under a context deadline (server ceiling, optionally lowered per
+// request via timeout_ms) and aborts with 504, and requests may trade
+// completeness for latency with time_budget_ms / max_patterns, which
+// return partial results flagged truncated. Oversized bodies are
+// rejected with 413. Request fields are validated up front: negative
+// budgets, limits, or worker counts are rejected with 400 before a
+// mining slot is claimed.
+//
+// # Graceful degradation
+//
+// With persistence enabled, journal I/O runs behind a circuit breaker
+// (internal/resilience): repeated persistence failures trip it open and
+// the server degrades to read-only — mutations fail fast with 503,
+// stable code "degraded", and a Retry-After hint, while reads, cached
+// results, and fresh mines over resident datasets keep serving. A
+// background prober periodically asks the store to prove itself again
+// (persist.Store.Probe); the first success closes the breaker and
+// restores read-write automatically. GET /v1/healthz stays 200
+// throughout (the process is alive; restarting would not help) while
+// GET /v1/readyz turns 503 so load balancers can steer writes away.
 //
 // # Observability
 //
@@ -150,6 +166,17 @@ type Config struct {
 	// The caller owns the store's lifecycle (open it before the server,
 	// Close it after shutdown to flush and cut a final snapshot).
 	Persist *persist.Store
+
+	// BreakerFailureThreshold is the weighted failure score at which the
+	// persistence circuit breaker trips into read-only degraded mode
+	// (permanent failures such as ENOSPC count double). 0 means
+	// resilience.DefaultBreakerThreshold. Only meaningful with Persist.
+	BreakerFailureThreshold int
+
+	// RecoveryProbeInterval is how often, while degraded, the background
+	// prober asks the persist store to prove it can write again; the
+	// first success restores read-write automatically. 0 means 1s.
+	RecoveryProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +194,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBudgetBytes == 0 {
 		c.CacheBudgetBytes = DefaultCacheBudgetBytes
+	}
+	if c.RecoveryProbeInterval <= 0 {
+		c.RecoveryProbeInterval = time.Second
 	}
 	return c
 }
@@ -187,8 +217,13 @@ type Server struct {
 	reg *obs.Registry
 	met *serverMetrics
 
-	// mineSem bounds concurrent mining jobs; acquisition is
-	// non-blocking so overload turns into fast 429s instead of a queue.
+	// journal wraps the persist store's journal with the circuit
+	// breaker and background recovery probe. nil without persistence.
+	journal *resilientJournal
+
+	// mineSem bounds concurrent mining jobs. Admission is deadline-
+	// aware: a request parks only while a slot could still free up
+	// before its deadline, and is shed with 429 otherwise.
 	mineSem chan struct{}
 	// reqSeq numbers generated request IDs.
 	reqSeq atomic.Uint64
@@ -233,10 +268,31 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 			s.store.load(name, ds.DB, ds.Version)
 		}
 		s.store.setVersionFloor(verSeq)
-		s.store.journal = cfg.Persist
+		s.journal = newResilientJournal(cfg.Persist, cfg.BreakerFailureThreshold,
+			cfg.RecoveryProbeInterval, met.resilience, logger)
+		s.store.journal = s.journal
 		cfg.Persist.SetMetrics(met.persist)
+		if s.results != nil {
+			s.results.SetDegraded(s.journal.degraded)
+		}
 	}
 	return s
+}
+
+// Close stops the server's background resilience work (the recovery
+// prober). It does not close the persist store — the caller owns that
+// lifecycle. Safe to call more than once, and a no-op for servers
+// without persistence.
+func (s *Server) Close() {
+	if s.journal != nil {
+		s.journal.close()
+	}
+}
+
+// degraded reports whether persistence is currently unavailable and the
+// server is refusing mutations (read-only degraded mode).
+func (s *Server) degraded() bool {
+	return s.journal != nil && s.journal.degraded()
 }
 
 // Registry returns the server's metrics registry, the same one Handler
@@ -249,6 +305,7 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // deprecated legacy alias) and the README route-contract test walks it.
 var routeTable = []struct{ method, pattern string }{
 	{"GET", "/healthz"},
+	{"GET", "/readyz"},
 	{"GET", "/metrics"},
 	{"GET", "/datasets"},
 	{"PUT", "/datasets/{name}"},
@@ -275,6 +332,7 @@ func Routes() []string {
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"GET /healthz":                 s.handleHealthz,
+		"GET /readyz":                  s.handleReadyz,
 		"GET /metrics":                 s.reg.Handler().ServeHTTP,
 		"GET /datasets":                s.handleList,
 		"PUT /datasets/{name}":         s.handlePut,
@@ -407,6 +465,8 @@ func codeForStatus(status int) string {
 		return "rate_limited"
 	case http.StatusGatewayTimeout:
 		return "deadline_exceeded"
+	case http.StatusServiceUnavailable:
+		return "degraded"
 	default:
 		if status >= 500 {
 			return "internal"
@@ -441,6 +501,13 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 		status = http.StatusRequestEntityTooLarge
 		err = fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
 	}
+	s.writeErrorCode(w, r, status, codeForStatus(status), err)
+}
+
+// writeErrorCode is writeError with an explicit envelope code, for the
+// few statuses whose code is not a pure function of the status (500
+// splits into internal vs persist_unavailable).
+func (s *Server) writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
 	var fe *fieldError
 	field := ""
 	if errors.As(err, &fe) {
@@ -450,16 +517,80 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	if status >= 500 || status == http.StatusTooManyRequests {
 		s.logger.Warn("request failed",
 			"request_id", id, "method", r.Method, "path", r.URL.Path,
-			"status", status, "error", err.Error())
+			"status", status, "code", code, "error", err.Error())
 	}
 	s.writeJSON(w, status, ErrorEnvelope{
-		Error:     ErrorDetail{Code: codeForStatus(status), Message: err.Error(), Field: field},
+		Error:     ErrorDetail{Code: code, Message: err.Error(), Field: field},
 		RequestID: id,
 	})
 }
 
+// writeStoreError maps a failed store mutation to a response:
+//
+//   - breaker open → 503, stable code "degraded", Retry-After derived
+//     from the recovery-probe cadence — the client should retry, later,
+//     here;
+//   - any other journal failure → 500, stable code "persist_unavailable"
+//     — the mutation was vetoed to protect durability;
+//   - anything else → plain 500 "internal".
+func (s *Server) writeStoreError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, errDegraded) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.degradedRetryAfterSeconds()))
+		s.writeErrorCode(w, r, http.StatusServiceUnavailable, "degraded",
+			errors.New("persistence degraded: mutations are temporarily rejected while the store recovers; reads and mining remain available"))
+		return
+	}
+	var je *journalError
+	if errors.As(err, &je) {
+		s.writeErrorCode(w, r, http.StatusInternalServerError, "persist_unavailable", err)
+		return
+	}
+	s.writeError(w, r, http.StatusInternalServerError, err)
+}
+
+// degradedRetryAfterSeconds derives the 503 Retry-After hint while
+// degraded: recovery needs one probe cycle (RecoveryProbeInterval) plus
+// roughly one snapshot write to succeed, clamped to the same bounds as
+// the 429 hint.
+func (s *Server) degradedRetryAfterSeconds() int {
+	est := s.cfg.RecoveryProbeInterval.Seconds() + s.met.persist.snapDur.Quantile(0.5)
+	secs := int(math.Ceil(est))
+	if secs < minRetryAfterSeconds {
+		secs = minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// mode names the server's current write capability for health bodies.
+func (s *Server) mode() string {
+	if s.degraded() {
+		return "read_only"
+	}
+	return "read_write"
+}
+
+// handleHealthz is liveness: 200 as long as the process serves HTTP,
+// even while degraded — restarting the process would not help, so
+// orchestrators must not kill it over disk trouble. The body carries the
+// current mode for humans and dashboards.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": s.mode()})
+}
+
+// handleReadyz is readiness: 503 while persistence is degraded so load
+// balancers can steer mutation traffic away (reads still work; the
+// Retry-After hint says when to re-check), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.degraded() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.degradedRetryAfterSeconds()))
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "degraded", "mode": "read_only"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "mode": "read_write"})
 }
 
 // DatasetSummary is the wire form of GET /v1/datasets and
@@ -517,7 +648,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	ver, existed, sum, err := s.store.put(name, db)
 	if err != nil {
-		s.writeError(w, r, http.StatusInternalServerError, err)
+		s.writeStoreError(w, r, err)
 		return
 	}
 	s.invalidateResults(name)
@@ -544,12 +675,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		// Validation failures are the client's fault; journal failures
 		// are ours.
-		status := http.StatusBadRequest
 		var je *journalError
 		if errors.As(err, &je) {
-			status = http.StatusInternalServerError
+			s.writeStoreError(w, r, err)
+		} else {
+			s.writeError(w, r, http.StatusBadRequest, err)
 		}
-		s.writeError(w, r, status, err)
 		return
 	case !found:
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
@@ -581,7 +712,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	ok, err := s.store.delete(name)
 	if err != nil {
-		s.writeError(w, r, http.StatusInternalServerError, err)
+		s.writeStoreError(w, r, err)
 		return
 	}
 	s.invalidateResults(name)
@@ -633,19 +764,63 @@ func etagMatches(header, etag string) bool {
 
 // ----------------------------------------------------------- mine slots
 
-// errMineBusy signals that every mining slot was occupied; the handler
-// maps it to 429 with a Retry-After hint.
+// errMineBusy signals that every mining slot was occupied for as long
+// as this request could afford to wait; the handler maps it to 429 with
+// a Retry-After hint.
 var errMineBusy = errors.New("all mining slots busy")
 
-// tryAcquireMineSlot claims a slot from the mining semaphore without
-// blocking. The caller must invoke the release func when done.
-func (s *Server) tryAcquireMineSlot() (release func(), ok bool) {
+// acquireMineSlot claims a slot from the mining semaphore with
+// deadline-aware admission: a free slot is taken immediately; otherwise
+// the request parks only as long as a slot could still free up in time
+// (parkBudget), and is shed with errMineBusy when that budget is zero or
+// runs out — no point queueing work whose deadline will expire before it
+// can start. ctx is the job context from mineContext, so a parked
+// request unblocks when its deadline passes or (with caching disabled)
+// its client disconnects. The caller must invoke release when done.
+func (s *Server) acquireMineSlot(ctx context.Context, timeoutMillis int64) (release func(), err error) {
 	select {
 	case s.mineSem <- struct{}{}:
-		return func() { <-s.mineSem }, true
+		return func() { <-s.mineSem }, nil
 	default:
-		return nil, false
 	}
+	wait := s.parkBudget(timeoutMillis)
+	if wait <= 0 {
+		s.met.resilience.shed.Inc()
+		return nil, errMineBusy
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s.mineSem <- struct{}{}:
+		return func() { <-s.mineSem }, nil
+	case <-timer.C:
+		s.met.resilience.shed.Inc()
+		return nil, errMineBusy
+	case <-ctx.Done():
+		// The job deadline expiring while still queued is a shed (429,
+		// retryable), not a mining timeout (504): no work was started.
+		// A disconnecting client propagates as Canceled.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.resilience.shed.Inc()
+			return nil, errMineBusy
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// parkBudget is how long a request may wait for a mining slot before it
+// should be shed: its effective deadline minus the median job duration —
+// once less than a typical job's runtime remains, getting a slot no
+// longer helps, the job would only burn a slot and 504 anyway.
+func (s *Server) parkBudget(timeoutMillis int64) time.Duration {
+	d := s.cfg.MaxMineDuration
+	if timeoutMillis > 0 {
+		if req := time.Duration(timeoutMillis) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	median := time.Duration(s.met.mineDur.Quantile(0.5) * float64(time.Second))
+	return d - median
 }
 
 // writeBusy sends the 429 backpressure response.
@@ -1034,16 +1209,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 // (dataset version, options) — truncated runs are not, and must never
 // be cached or carry an ETag.
 func (s *Server) runMine(r *http.Request, db *interval.Database, name, ptype string, req MineRequest) (resp *MineResponse, complete bool, err error) {
-	release, ok := s.tryAcquireMineSlot()
-	if !ok {
-		return nil, false, errMineBusy
+	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
+	defer cancel()
+	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, false, err
 	}
 	defer release()
 	if s.testMineHook != nil {
 		s.testMineHook()
 	}
-	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
-	defer cancel()
 
 	mineStart := time.Now()
 	resp = &MineResponse{Dataset: name, Type: ptype}
@@ -1203,13 +1378,13 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 // runRules executes one rules job: mine temporal patterns under a slot
 // and the job context, then derive scored rules.
 func (s *Server) runRules(r *http.Request, db *interval.Database, req RulesRequest) ([]WireRule, error) {
-	release, ok := s.tryAcquireMineSlot()
-	if !ok {
-		return nil, errMineBusy
-	}
-	defer release()
 	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
 	defer cancel()
+	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	opt := core.Options{
 		MinSupport:   req.MinSupport,
