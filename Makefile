@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race contract recovery chaos verify bench bench-all
+.PHONY: build vet test race contract recovery chaos verify bench bench-all profile
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,24 @@ chaos:
 # re-rolls the randomized fault schedule with a fresh seed.
 verify: build vet race contract recovery chaos
 
-# Runs the Fig-1 workload and core micro-benchmarks and writes
-# BENCH_core.json with speedups against bench/baseline.json. Fails if
-# any workload point drops below 0.95x of the committed baseline, so
-# instrumentation overhead can never silently eat the PR 2 speedups.
+# Runs the Fig-1 workload (at GOMAXPROCS=1 and =NumCPU), the sharded
+# Fig-1a series, and the core micro-benchmarks, writing BENCH_core.json
+# with speedups against bench/baseline.json. Gates: no workload point
+# below 0.95x of the committed baseline, shards=1 within 0.95x of
+# unsharded (coordinator overhead), and — on multi-core machines only —
+# shards≈NumCPU at least 1.5x faster than shards=1.
 bench:
-	$(GO) run ./cmd/benchjson -o BENCH_core.json -min-speedup 0.95
+	$(GO) run ./cmd/benchjson -o BENCH_core.json -min-speedup 0.95 -min-shard-ratio 0.95 -min-sharded-speedup 1.5
 
 # The old kitchen-sink benchmark run, kept for exploratory use.
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# Captures CPU and heap profiles of the sharded Fig-1a workload into
+# ./profiles/ for pprof inspection:
+#   go tool pprof profiles/fig1a_sharded_cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench Fig1aSharded -benchtime 20x \
+		-cpuprofile profiles/fig1a_sharded_cpu.pprof \
+		-memprofile profiles/fig1a_sharded_mem.pprof -o profiles/tpminer.test .

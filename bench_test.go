@@ -11,6 +11,7 @@
 package tpminer_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"tpminer/internal/incremental"
 	"tpminer/internal/interval"
 	"tpminer/internal/pattern"
+	"tpminer/internal/shard"
 )
 
 // benchScale is the workload sizing used by the whole bench suite.
@@ -75,6 +77,46 @@ func BenchmarkFig1aRuntimeVsMinsup(b *testing.B) {
 				b.ReportMetric(float64(patterns), "patterns")
 			})
 		}
+	}
+}
+
+// BenchmarkFig1aSharded — the Fig-1a temporal workload mined through the
+// scatter-gather shard coordinator at increasing shard counts, with the
+// plain serial miner as the unsharded reference. shards=1 measures pure
+// coordinator overhead (one worker, no merge work beyond a pass-through),
+// so cmd/benchjson gates it at ≥0.95x of unsharded; higher counts show
+// the multi-core scaling headroom (≈1x on a single-core runner, where
+// the equivalence suite still proves the merge exact). The database is
+// the largest Fig-2a point rather than the Fig-1a base: the partition-
+// aware local bound is ceil(minsup·n_i), so shards need enough
+// sequences for that to stay selective — 100 sequences per shard at
+// shards=8, matching the shard-min-seqs guidance (a 200-sequence
+// database split 8 ways would mine 25-sequence shards at bound 1,
+// i.e. its full lattice).
+func BenchmarkFig1aSharded(b *testing.B) {
+	db := benchQuestDB(b, benchScale.DBSizes[len(benchScale.DBSizes)-1], benchScale.C)
+	opt := benchOpts(0.04)
+	ctx := context.Background()
+	b.Run("unsharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MineTemporal(db, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []int{1, 2, 4, 8} {
+		co := shard.NewLocal(db, shard.New(db, k, 1))
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var patterns int
+			for i := 0; i < b.N; i++ {
+				rs, _, err := co.MineTemporal(ctx, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patterns = len(rs)
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+		})
 	}
 }
 

@@ -3,11 +3,19 @@
 //
 //	go run ./cmd/benchjson -o BENCH_core.json -benchtime 20x
 //
-// Two benchmark groups are run:
+// Three benchmark groups are run:
 //
 //   - the Fig-1 paper-workload benchmarks at the repo root (Quick scale),
 //     compared against the committed pre-refactor baseline in
-//     bench/baseline.json to report per-point speedups;
+//     bench/baseline.json to report per-point speedups. The workload is
+//     captured twice — pinned at GOMAXPROCS=1 (comparable to the serial
+//     baseline) and at GOMAXPROCS=NumCPU — with both sections recorded;
+//     on a single-core machine one run serves as both;
+//   - the Fig1aSharded benchmarks: the same temporal workload mined
+//     through the shard coordinator at shards ∈ {1,2,4,8}, run at
+//     GOMAXPROCS=NumCPU. shards=1 is gated against the unsharded
+//     reference (-min-shard-ratio) and, on multi-core machines only,
+//     shards≈NumCPU is gated against shards=1 (-min-sharded-speedup);
 //   - the internal/core micro-benchmarks (projection, counting,
 //     scheduling), whose ParallelScheduling sub-benchmarks yield the
 //     work-stealing-vs-serial speedup on the current machine.
@@ -52,18 +60,40 @@ type baselineFile struct {
 }
 
 type report struct {
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS is this process's scheduler width; NumCPU is the
+	// machine. They differ when the tool itself is pinned — the workload
+	// sections record the GOMAXPROCS they ran under explicitly, so the
+	// file no longer conflates "ran on one core" with "machine has one".
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
 	Benchtime  string `json:"benchtime"`
 
 	BaselineCommit string `json:"baseline_commit,omitempty"`
 	BaselineNote   string `json:"baseline_note,omitempty"`
 
-	// Workload holds the Fig-1 paper benchmarks with speedups against
-	// the committed baseline.
-	Workload []result `json:"workload"`
+	// Workload holds the Fig-1 paper benchmarks pinned at GOMAXPROCS=1,
+	// with speedups against the committed (serial) baseline.
+	Workload           []result `json:"workload"`
+	WorkloadGomaxprocs int      `json:"workload_gomaxprocs"`
+	// WorkloadMulti repeats the workload at GOMAXPROCS=NumCPU. On a
+	// single-core machine it is the same run recorded twice.
+	WorkloadMulti           []result `json:"workload_multi"`
+	WorkloadMultiGomaxprocs int      `json:"workload_multi_gomaxprocs"`
+
+	// Sharded holds the Fig1aSharded series (unsharded reference plus
+	// shards ∈ {1,2,4,8} through the coordinator) at GOMAXPROCS=NumCPU.
+	Sharded []result `json:"sharded"`
+	// ShardOverheadVsUnsharded is unsharded ns/op divided by shards=1
+	// ns/op: 1.0 means a one-shard coordinator costs nothing.
+	ShardOverheadVsUnsharded float64 `json:"shard_overhead_vs_unsharded,omitempty"`
+	// ShardedSpeedupAtNumCPU is shards=1 ns/op divided by the ns/op of
+	// the largest measured shard count ≤ NumCPU (≈1.0 on a single-core
+	// runner, where fan-out cannot help).
+	ShardedSpeedupAtNumCPU float64 `json:"sharded_speedup_at_numcpu,omitempty"`
+
 	// Micro holds the internal/core hot-path micro-benchmarks.
 	Micro []result `json:"micro"`
 
@@ -94,6 +124,8 @@ func run(args []string) error {
 	baselinePath := fs.String("baseline", "bench/baseline.json", "baseline numbers to compute speedups against")
 	benchtime := fs.String("benchtime", "20x", "benchtime for the workload benchmarks")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail (exit non-zero) if min_workload_speedup drops below this; 0 disables the gate")
+	minShardRatio := fs.Float64("min-shard-ratio", 0, "fail if shards=1 throughput drops below this fraction of unsharded; 0 disables the gate")
+	minShardedSpeedup := fs.Float64("min-sharded-speedup", 0, "fail if shards≈NumCPU is not this much faster than shards=1; skipped on single-core machines, 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,17 +139,20 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); speedups omitted\n", err)
 	}
 
+	numCPU := runtime.NumCPU()
 	rep := report{
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         numCPU,
 		Benchtime:      *benchtime,
 		BaselineCommit: base.Commit,
 		BaselineNote:   base.Note,
 	}
 
-	workload, err := runBench(".", "Fig1aRuntimeVsMinsup/P-TPMiner|Fig1bRuntimeVsMinsupCoincidence/P-TPMiner", *benchtime)
+	const workloadPattern = "Fig1aRuntimeVsMinsup/P-TPMiner|Fig1bRuntimeVsMinsupCoincidence/P-TPMiner"
+	workload, err := runBench(".", workloadPattern, *benchtime, 1)
 	if err != nil {
 		return err
 	}
@@ -132,8 +167,47 @@ func run(args []string) error {
 		}
 	}
 	rep.Workload = workload
+	rep.WorkloadGomaxprocs = 1
+	if numCPU > 1 {
+		if rep.WorkloadMulti, err = runBench(".", workloadPattern, *benchtime, numCPU); err != nil {
+			return err
+		}
+	} else {
+		// One core: the pinned run is the multi run.
+		rep.WorkloadMulti = workload
+	}
+	rep.WorkloadMultiGomaxprocs = numCPU
 
-	micro, err := runBench("./internal/core/", "ProjectTemporal|CountTemporal|ProjectCoinc|ParallelScheduling", "")
+	sharded, err := runBench(".", "Fig1aSharded", *benchtime, numCPU)
+	if err != nil {
+		return err
+	}
+	rep.Sharded = sharded
+	var unshardedNs float64
+	shardNs := map[int]float64{}
+	for _, r := range sharded {
+		if r.Name == "Fig1aSharded/unsharded" {
+			unshardedNs = r.NsPerOp
+		}
+		var k int
+		if _, err := fmt.Sscanf(r.Name, "Fig1aSharded/shards=%d", &k); err == nil {
+			shardNs[k] = r.NsPerOp
+		}
+	}
+	if unshardedNs > 0 && shardNs[1] > 0 {
+		rep.ShardOverheadVsUnsharded = round2(unshardedNs / shardNs[1])
+	}
+	bestK := 1
+	for k := range shardNs {
+		if k <= numCPU && k > bestK {
+			bestK = k
+		}
+	}
+	if shardNs[1] > 0 && shardNs[bestK] > 0 {
+		rep.ShardedSpeedupAtNumCPU = round2(shardNs[1] / shardNs[bestK])
+	}
+
+	micro, err := runBench("./internal/core/", "ProjectTemporal|CountTemporal|ProjectCoinc|ParallelScheduling", "", 0)
 	if err != nil {
 		return err
 	}
@@ -172,10 +246,14 @@ func run(args []string) error {
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload, %d micro benchmarks", *out, len(rep.Workload), len(rep.Micro))
+	fmt.Printf("wrote %s (%d workload, %d sharded, %d micro benchmarks", *out, len(rep.Workload), len(rep.Sharded), len(rep.Micro))
 	if rep.MinWorkloadSpeedup > 0 {
 		fmt.Printf("; min speedup vs %s: %.2fx overall, %.2fx on Fig-1a",
 			rep.BaselineCommit, rep.MinWorkloadSpeedup, rep.MinFig1aSpeedup)
+	}
+	if rep.ShardOverheadVsUnsharded > 0 {
+		fmt.Printf("; shards=1 at %.2fx of unsharded, %.2fx sharded speedup at %d cores",
+			rep.ShardOverheadVsUnsharded, rep.ShardedSpeedupAtNumCPU, numCPU)
 	}
 	fmt.Println(")")
 
@@ -185,18 +263,32 @@ func run(args []string) error {
 		return fmt.Errorf("min workload speedup %.2fx below required %.2fx (benchmark regression vs %s)",
 			rep.MinWorkloadSpeedup, *minSpeedup, rep.BaselineCommit)
 	}
+	if *minShardRatio > 0 && rep.ShardOverheadVsUnsharded > 0 && rep.ShardOverheadVsUnsharded < *minShardRatio {
+		return fmt.Errorf("shards=1 at %.2fx of unsharded throughput, below required %.2fx (coordinator overhead regression)",
+			rep.ShardOverheadVsUnsharded, *minShardRatio)
+	}
+	// The multi-core scaling gate is meaningless on one core: fan-out
+	// cannot beat serial there, only the overhead gate applies.
+	if *minShardedSpeedup > 0 && numCPU > 1 && rep.ShardedSpeedupAtNumCPU > 0 && rep.ShardedSpeedupAtNumCPU < *minShardedSpeedup {
+		return fmt.Errorf("sharded speedup %.2fx at %d cores, below required %.2fx",
+			rep.ShardedSpeedupAtNumCPU, numCPU, *minShardedSpeedup)
+	}
 	return nil
 }
 
 // runBench executes "go test -bench" in pkg and parses its output.
-// benchtime may be empty to use the default.
-func runBench(pkg, pattern, benchtime string) ([]result, error) {
+// benchtime may be empty to use the default; gomaxprocs > 0 pins the
+// benchmark process via the environment.
+func runBench(pkg, pattern, benchtime string, gomaxprocs int) ([]result, error) {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
 	args = append(args, pkg)
 	cmd := exec.Command("go", args...)
+	if gomaxprocs > 0 {
+		cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", gomaxprocs))
+	}
 	cmd.Stderr = os.Stderr
 	outRaw, err := cmd.Output()
 	if err != nil {

@@ -17,6 +17,15 @@
 // accepting connections and drains in-flight requests — mining jobs
 // finish within their deadline — for up to -grace before exiting.
 //
+// Sharded mining: -shards partitions each dataset into that many
+// size-balanced sequence shards (0 = GOMAXPROCS, 1 = unsharded) and
+// mines them scatter-gather with an exact merge, so responses, cache
+// keys, and ETags are byte-identical to unsharded mining.
+// -shard-min-seqs keeps small datasets on fewer shards (no fan-out
+// overhead below ~16 sequences per shard by default). Per-shard
+// timings, fan-out counts, and partition skew appear as tpmd_shard_*
+// metrics.
+//
 // Complete mine/rules results are memoized in a byte-budgeted LRU and
 // concurrent identical requests collapse into one miner run
 // (single-flight); -cache-budget sizes the cache and -no-cache disables
@@ -111,6 +120,8 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "weighted persistence-failure score that trips the breaker into read-only mode (0 = default)")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject persistence faults, e.g. 'wal_write:eio:0.1,snapshot_sync:latency:0.5:20ms'")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the -fault-profile randomness (deterministic per seed)")
+	shards := fs.Int("shards", 0, "mining shards per dataset (0 = GOMAXPROCS, 1 = unsharded); results are identical either way")
+	shardMinSeqs := fs.Int("shard-min-seqs", server.DefaultShardMinSeqs, "minimum average sequences per shard; caps the shard count on small datasets")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +182,8 @@ func run(args []string) error {
 		Persist:                 pstore,
 		BreakerFailureThreshold: *breakerThreshold,
 		RecoveryProbeInterval:   *probeInterval,
+		Shards:                  *shards,
+		ShardMinSeqs:            *shardMinSeqs,
 	})
 	// Stop the background recovery prober before the persist store is
 	// closed underneath it.

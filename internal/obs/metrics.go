@@ -280,6 +280,29 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge is a gauge holding a float value, for ratios and other
+// fractional instantaneous readings (e.g. shard load skew). All methods
+// are safe for concurrent use.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) expose(w io.Writer, name, labelPairs string) {
+	writeSampleLine(w, name, labelPairs, formatFloat(g.Value()))
+}
+
+// NewFloatGauge registers and returns an unlabelled float gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	f := r.register(name, help, "gauge", nil)
+	g := &FloatGauge{}
+	f.series[""] = g
+	return g
+}
+
 // -------------------------------------------------------------- histogram
 
 // Histogram samples observations into fixed cumulative buckets, tracking

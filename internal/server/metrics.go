@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +33,10 @@ import (
 //     by operation, circuit-breaker state/trips, recovery probes by
 //     outcome, requests shed by deadline-aware admission, and total
 //     seconds spent in read-only degraded mode.
+//   - tpmd_shard_*: sharded mining — fan-outs issued, per-shard mine
+//     duration, the most recent partition's load-skew ratio, and
+//     patterns merged / support-completed at the coordinator. All zero
+//     when datasets hold a single shard.
 type serverMetrics struct {
 	reqTotal  *obs.CounterVec // route, api, class
 	reqDur    *obs.HistogramVec
@@ -56,6 +61,27 @@ type serverMetrics struct {
 
 	persist    *persistMetrics
 	resilience *resilienceMetrics
+	shard      *shardMetrics
+}
+
+// shardMetrics adapts the obs registry to the shard.Metrics interface;
+// the coordinator calls it once per fan-out / shard completion / merge,
+// so every method is a handful of atomic updates.
+type shardMetrics struct {
+	fanouts  *obs.Counter
+	shardDur *obs.HistogramVec // shard
+	skew     *obs.FloatGauge
+	merged   *obs.Counter
+	counted  *obs.Counter
+}
+
+func (m *shardMetrics) FanOut(shards int) { m.fanouts.Inc() }
+func (m *shardMetrics) ShardDone(shard int, d time.Duration) {
+	m.shardDur.With(strconv.Itoa(shard)).Observe(d.Seconds())
+}
+func (m *shardMetrics) Merged(patterns, counted int) {
+	m.merged.Add(uint64(patterns))
+	m.counted.Add(uint64(counted))
 }
 
 // resilienceMetrics covers the fault-handling layer: retrying persistence
@@ -201,6 +227,19 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 				"Mine/rules requests shed by deadline-aware admission: their deadline would expire before a slot could free up."),
 			degradedSeconds: reg.NewFloatCounter("tpmd_resilience_degraded_seconds_total",
 				"Total seconds spent in read-only degraded mode (breaker open or probing)."),
+		},
+
+		shard: &shardMetrics{
+			fanouts: reg.NewCounter("tpmd_shard_fanout_total",
+				"Mine/rules requests fanned out across dataset shards."),
+			shardDur: reg.NewHistogramVec("tpmd_shard_mine_duration_seconds",
+				"Per-shard mining wall time within a fan-out, by shard index.", nil, "shard"),
+			skew: reg.NewFloatGauge("tpmd_shard_skew_ratio",
+				"Max/min shard interval-load ratio of the most recently (re)computed partition."),
+			merged: reg.NewCounter("tpmd_shard_merged_patterns_total",
+				"Patterns produced by coordinator merges of per-shard results."),
+			counted: reg.NewCounter("tpmd_shard_counted_patterns_total",
+				"Patterns whose support was completed via a per-shard Count round because some shard missed them locally."),
 		},
 	}
 	// internal/persist reports retries through the persist.Metrics

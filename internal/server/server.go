@@ -85,6 +85,20 @@
 // node/scan/P1–P4-pruning/work-stealing counters. The Retry-After hint
 // on 429 responses is derived from the observed mine-duration histogram.
 // See internal/server/metrics.go for the metric inventory.
+//
+// # Sharded mining
+//
+// Each stored dataset carries a size-balanced partition of its
+// sequences into disjoint shards (internal/shard), computed at mutation
+// time so shard IDs stay stable across mines. When a dataset holds at
+// least two shards, mine and rules requests fan out through the
+// scatter-gather coordinator: every shard runs the dense-index miner at
+// a relaxed partition-aware support bound, and the coordinator merges
+// per-shard supports exactly, so results — and therefore cache keys,
+// ETags, and response bytes — are identical to serial mining. The
+// -shards / -shard-min-seqs flags on cmd/tpmd (Config.Shards /
+// Config.ShardMinSeqs here) size the partition; tpmd_shard_* metrics
+// expose fan-outs, per-shard durations, and partition skew.
 package server
 
 import (
@@ -115,6 +129,7 @@ import (
 	"tpminer/internal/pattern"
 	"tpminer/internal/persist"
 	"tpminer/internal/rules"
+	"tpminer/internal/shard"
 )
 
 // Defaults for Config zero values.
@@ -127,6 +142,10 @@ const (
 	// DefaultCacheBudgetBytes is the default resident-byte budget of the
 	// mine-result cache (128 MiB).
 	DefaultCacheBudgetBytes = 128 << 20
+	// DefaultShardMinSeqs is the minimum average sequences per shard: a
+	// dataset is only split while every shard would keep at least this
+	// many sequences, so tiny datasets never pay fan-out overhead.
+	DefaultShardMinSeqs = 16
 )
 
 // Config bounds the server's resource usage. The zero value selects
@@ -177,6 +196,18 @@ type Config struct {
 	// prober asks the persist store to prove it can write again; the
 	// first success restores read-write automatically. 0 means 1s.
 	RecoveryProbeInterval time.Duration
+
+	// Shards is the target number of mining shards per dataset. Datasets
+	// holding at least two shards route mine/rules requests through the
+	// scatter-gather coordinator (internal/shard); results, cache keys,
+	// and ETags are identical to unsharded mining. 0 means GOMAXPROCS;
+	// 1 disables sharding.
+	Shards int
+
+	// ShardMinSeqs floors the average sequences per shard, capping the
+	// effective shard count on small datasets. 0 means
+	// DefaultShardMinSeqs.
+	ShardMinSeqs int
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +228,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryProbeInterval <= 0 {
 		c.RecoveryProbeInterval = time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardMinSeqs <= 0 {
+		c.ShardMinSeqs = DefaultShardMinSeqs
 	}
 	return c
 }
@@ -256,6 +293,15 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 		reg:     reg,
 		met:     met,
 		mineSem: make(chan struct{}, cfg.MaxConcurrentMines),
+	}
+	// Shard config must land before persistence seeding so recovered
+	// datasets are partitioned on load.
+	s.store.shards = cfg.Shards
+	s.store.shardMinSeqs = cfg.ShardMinSeqs
+	s.store.onPartition = func(p *shard.Partition) {
+		if p != nil {
+			met.shard.skew.Set(p.Skew())
+		}
 	}
 	if cfg.CacheBudgetBytes > 0 {
 		s.results = cache.New(cfg.CacheBudgetBytes, met.cache)
@@ -1149,7 +1195,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	db, ver, ok := s.store.snapshot(name)
+	db, part, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
@@ -1168,7 +1214,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 
 	compute := func() (any, int64, bool, error) {
-		resp, complete, err := s.runMine(r, db, name, ptype, req)
+		resp, complete, err := s.runMine(r, db, part, name, ptype, req)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -1203,12 +1249,26 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// mineCoordinator returns the scatter-gather coordinator for the
+// dataset when its partition holds at least two shards, nil otherwise
+// (serial mining). The coordinator's merge reproduces the serial
+// miner's results exactly, so routing through it never changes a
+// response, cache entry, or ETag.
+func (s *Server) mineCoordinator(db *interval.Database, part *shard.Partition) *shard.Coordinator {
+	if part == nil || part.NumShards() < 2 {
+		return nil
+	}
+	co := shard.NewLocal(db, part)
+	co.Met = s.met.shard
+	return co
+}
+
 // runMine executes one mining job end to end: claim a slot (errMineBusy
 // when saturated), mine under the job context, record metrics. complete
 // reports whether the result is the full deterministic answer for
 // (dataset version, options) — truncated runs are not, and must never
 // be cached or carry an ETag.
-func (s *Server) runMine(r *http.Request, db *interval.Database, name, ptype string, req MineRequest) (resp *MineResponse, complete bool, err error) {
+func (s *Server) runMine(r *http.Request, db *interval.Database, part *shard.Partition, name, ptype string, req MineRequest) (resp *MineResponse, complete bool, err error) {
 	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
@@ -1222,13 +1282,19 @@ func (s *Server) runMine(r *http.Request, db *interval.Database, name, ptype str
 
 	mineStart := time.Now()
 	resp = &MineResponse{Dataset: name, Type: ptype}
+	co := s.mineCoordinator(db, part)
 	var st core.Stats
 	switch ptype {
 	case "temporal":
 		var rs []pattern.TemporalResult
-		if req.TopK > 0 {
+		switch {
+		case co != nil && req.TopK > 0:
+			rs, st, err = co.MineTemporalTopK(ctx, req.TopK, req.options(s.cfg.MaxParallel))
+		case co != nil:
+			rs, st, err = co.MineTemporal(ctx, req.options(s.cfg.MaxParallel))
+		case req.TopK > 0:
 			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
-		} else {
+		default:
 			rs, st, err = core.MineTemporalCtx(ctx, db, req.options(s.cfg.MaxParallel))
 		}
 		if err == nil {
@@ -1248,9 +1314,14 @@ func (s *Server) runMine(r *http.Request, db *interval.Database, name, ptype str
 		}
 	case "coincidence":
 		var rs []pattern.CoincResult
-		if req.TopK > 0 {
+		switch {
+		case co != nil && req.TopK > 0:
+			rs, st, err = co.MineCoincidenceTopK(ctx, req.TopK, req.options(s.cfg.MaxParallel))
+		case co != nil:
+			rs, st, err = co.MineCoincidence(ctx, req.options(s.cfg.MaxParallel))
+		case req.TopK > 0:
 			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
-		} else {
+		default:
 			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.options(s.cfg.MaxParallel))
 		}
 		if err == nil {
@@ -1333,7 +1404,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	db, ver, ok := s.store.snapshot(name)
+	db, part, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
@@ -1348,7 +1419,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	}
 
 	compute := func() (any, int64, bool, error) {
-		out, err := s.runRules(r, db, req)
+		out, err := s.runRules(r, db, part, req)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -1377,7 +1448,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 
 // runRules executes one rules job: mine temporal patterns under a slot
 // and the job context, then derive scored rules.
-func (s *Server) runRules(r *http.Request, db *interval.Database, req RulesRequest) ([]WireRule, error) {
+func (s *Server) runRules(r *http.Request, db *interval.Database, part *shard.Partition, req RulesRequest) ([]WireRule, error) {
 	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
@@ -1392,7 +1463,15 @@ func (s *Server) runRules(r *http.Request, db *interval.Database, req RulesReque
 		MaxIntervals: req.MaxIntervals,
 	}
 	mineStart := time.Now()
-	rs, st, err := core.MineTemporalCtx(ctx, db, opt)
+	var (
+		rs []pattern.TemporalResult
+		st core.Stats
+	)
+	if co := s.mineCoordinator(db, part); co != nil {
+		rs, st, err = co.MineTemporal(ctx, opt)
+	} else {
+		rs, st, err = core.MineTemporalCtx(ctx, db, opt)
+	}
 	s.recordMineRun("rules", st, time.Since(mineStart), err)
 	if err != nil {
 		return nil, err

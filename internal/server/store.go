@@ -6,6 +6,7 @@ import (
 
 	"tpminer/internal/incremental"
 	"tpminer/internal/interval"
+	"tpminer/internal/shard"
 )
 
 // storeJournal is the durability hook on the store's mutation paths.
@@ -44,6 +45,18 @@ type datasetStore struct {
 	entries map[string]*datasetEntry
 	verSeq  uint64
 	journal storeJournal // nil = in-memory only
+
+	// shards/shardMinSeqs configure the mining partition kept on each
+	// entry (see datasetEntry.part). Set once at server construction,
+	// before any entry exists; zero values partition everything into a
+	// single shard (unsharded mining).
+	shards       int
+	shardMinSeqs int
+
+	// onPartition, when set, observes every freshly computed partition
+	// (put, append, recovery load) — the hook behind the shard-skew
+	// gauge. Called with the store lock held; must be cheap.
+	onPartition func(p *shard.Partition)
 }
 
 // datasetEntry is one stored dataset. The summary is computed once at
@@ -55,6 +68,13 @@ type datasetEntry struct {
 	version uint64
 	summary DatasetSummary
 	symbols map[string]struct{}
+
+	// part is the dataset's mining partition, computed at mutation time
+	// so shard IDs stay stable across mines: appends extend it in place
+	// (new sequences fill the least-loaded shards) and only a load-skew
+	// past the threshold or an effective-shard-count change triggers a
+	// full repartition. Like db, immutable once stored.
+	part *shard.Partition
 }
 
 func newDatasetStore() *datasetStore {
@@ -62,8 +82,9 @@ func newDatasetStore() *datasetStore {
 }
 
 // buildEntry computes the stored form of a freshly installed database:
-// its summary and distinct-symbol set, both in one O(db) pass.
-func buildEntry(name string, db *interval.Database, version uint64) *datasetEntry {
+// its summary and distinct-symbol set, both in one O(db) pass, plus a
+// fresh mining partition.
+func (st *datasetStore) buildEntry(name string, db *interval.Database, version uint64) *datasetEntry {
 	symbols := make(map[string]struct{})
 	intervals := 0
 	for i := range db.Sequences {
@@ -82,15 +103,22 @@ func buildEntry(name string, db *interval.Database, version uint64) *datasetEntr
 	if sum.Sequences > 0 {
 		sum.AvgSeqLen = float64(sum.Intervals) / float64(sum.Sequences)
 	}
-	return &datasetEntry{db: db, version: version, summary: sum, symbols: symbols}
+	return &datasetEntry{
+		db:      db,
+		version: version,
+		summary: sum,
+		symbols: symbols,
+		part:    shard.New(db, st.shards, st.shardMinSeqs),
+	}
 }
 
 // extendEntry derives the entry for old extended by add: the sequence
 // slice headers are copied shallowly (the stored database is immutable,
 // so the interval arrays are shared, never cloned — appends cost
 // O(sequences + increment), not O(total intervals)), and the summary is
-// updated incrementally from the increment alone.
-func extendEntry(old *datasetEntry, add *interval.Database, version uint64) *datasetEntry {
+// updated incrementally from the increment alone. The partition extends
+// with stable shard IDs unless the append skews it past the threshold.
+func (st *datasetStore) extendEntry(old *datasetEntry, add *interval.Database, version uint64) *datasetEntry {
 	grown := &interval.Database{
 		Sequences: make([]interval.Sequence, 0, len(old.db.Sequences)+len(add.Sequences)),
 	}
@@ -115,7 +143,13 @@ func extendEntry(old *datasetEntry, add *interval.Database, version uint64) *dat
 	if sum.Sequences > 0 {
 		sum.AvgSeqLen = float64(sum.Intervals) / float64(sum.Sequences)
 	}
-	return &datasetEntry{db: grown, version: version, summary: sum, symbols: symbols}
+	part := old.part
+	if part == nil {
+		part = shard.New(grown, st.shards, st.shardMinSeqs)
+	} else {
+		part = part.Extend(grown, st.shards, st.shardMinSeqs, shard.DefaultSkewThreshold)
+	}
+	return &datasetEntry{db: grown, version: version, summary: sum, symbols: symbols, part: part}
 }
 
 // load seeds one recovered dataset without journaling it (it is already
@@ -123,9 +157,13 @@ func extendEntry(old *datasetEntry, add *interval.Database, version uint64) *dat
 func (st *datasetStore) load(name string, db *interval.Database, version uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.entries[name] = buildEntry(name, db, version)
+	entry := st.buildEntry(name, db, version)
+	st.entries[name] = entry
 	if version > st.verSeq {
 		st.verSeq = version
+	}
+	if st.onPartition != nil {
+		st.onPartition(entry.part)
 	}
 }
 
@@ -145,7 +183,7 @@ func (st *datasetStore) setVersionFloor(seq uint64) {
 // attached the mutation commits to the WAL first; a journal error
 // rejects the put and leaves the store untouched.
 func (st *datasetStore) put(name string, db *interval.Database) (version uint64, existed bool, sum DatasetSummary, err error) {
-	entry := buildEntry(name, db, 0)
+	entry := st.buildEntry(name, db, 0)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ver := st.verSeq + 1
@@ -158,20 +196,23 @@ func (st *datasetStore) put(name string, db *interval.Database) (version uint64,
 	st.verSeq = ver
 	entry.version = ver
 	st.entries[name] = entry
+	if st.onPartition != nil {
+		st.onPartition(entry.part)
+	}
 	return ver, existed, entry.summary, nil
 }
 
-// snapshot returns the named dataset's current database and version.
-// The database is immutable and safe to read concurrently; callers must
-// not modify it.
-func (st *datasetStore) snapshot(name string) (*interval.Database, uint64, bool) {
+// snapshot returns the named dataset's current database, its mining
+// partition, and version. Database and partition are immutable and safe
+// to read concurrently; callers must not modify them.
+func (st *datasetStore) snapshot(name string) (*interval.Database, *shard.Partition, uint64, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	e, ok := st.entries[name]
 	if !ok {
-		return nil, 0, false
+		return nil, nil, 0, false
 	}
-	return e.db, e.version, true
+	return e.db, e.part, e.version, true
 }
 
 // stat returns the named dataset's precomputed summary and version.
@@ -207,9 +248,12 @@ func (st *datasetStore) append(name string, add *interval.Database) (db *interva
 			return nil, 0, DatasetSummary{}, true, &journalError{fmt.Errorf("persist append: %w", err)}
 		}
 	}
-	entry := extendEntry(e, add, ver)
+	entry := st.extendEntry(e, add, ver)
 	st.verSeq = ver
 	st.entries[name] = entry
+	if st.onPartition != nil {
+		st.onPartition(entry.part)
+	}
 	return entry.db, ver, entry.summary, true, nil
 }
 

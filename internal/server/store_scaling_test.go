@@ -48,7 +48,7 @@ func TestAppendSharesBackingArrays(t *testing.T) {
 	if _, _, _, err := st.put("d", base); err != nil {
 		t.Fatal(err)
 	}
-	before, _, _ := st.snapshot("d")
+	before, _, _, _ := st.snapshot("d")
 
 	grown, _, _, found, err := st.append("d", incrementFor(0))
 	if err != nil || !found {

@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"tpminer/internal/coincidence"
+	"tpminer/internal/endpoint"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// The matchers below answer "would the miner have counted this sequence
+// for this pattern?" without re-running a projection. They must agree
+// exactly with the miner's emission semantics, constraints included,
+// because the coordinator adds their answers to mined supports.
+
+// seqIndex is one sequence's endpoint database prepared for constrained
+// matching: the slice position of every occurrence-labeled endpoint
+// (each appears at most once per sequence) plus per-slice times for the
+// span/gap checks that pattern.SupportAligned does not perform.
+type seqIndex struct {
+	pos   map[endpoint.Endpoint]int32
+	times []interval.Time
+}
+
+func buildSeqIndex(slices []endpoint.Slice) seqIndex {
+	ix := seqIndex{
+		pos:   make(map[endpoint.Endpoint]int32),
+		times: make([]interval.Time, len(slices)),
+	}
+	for i, sl := range slices {
+		ix.times[i] = sl.Time
+		for _, e := range sl.Points {
+			ix.pos[e] = int32(i)
+		}
+	}
+	return ix
+}
+
+// supports reports whether the sequence contains an aligned embedding of
+// the raw pattern p under the miner's constraints: all endpoints of one
+// element share a slice, element slices strictly increase, the first→last
+// element time span is at most maxSpan, and each consecutive-element time
+// gap is at most maxGap (0 disables either check). Because endpoints are
+// occurrence-labeled, the embedding is unique, so there is nothing to
+// search — just verify.
+func (ix seqIndex) supports(p pattern.Temporal, maxSpan, maxGap interval.Time) bool {
+	if len(p.Elements) == 0 {
+		return false
+	}
+	prev := int32(-1)
+	var first interval.Time
+	for ei, el := range p.Elements {
+		at := int32(-1)
+		for j, e := range el {
+			i, ok := ix.pos[e]
+			if !ok {
+				return false
+			}
+			if j == 0 {
+				at = i
+			} else if at != i {
+				return false
+			}
+		}
+		if at <= prev {
+			return false
+		}
+		t := ix.times[at]
+		if ei == 0 {
+			first = t
+		} else if maxGap > 0 && t-ix.times[prev] > maxGap {
+			return false
+		}
+		if maxSpan > 0 && t-first > maxSpan {
+			return false
+		}
+		prev = at
+	}
+	return true
+}
+
+// coincSegment is one coincidence segment's sorted symbol set.
+type coincSegment []string
+
+// transformForCount converts a shard database into per-sequence sorted
+// symbol sets for coincidence containment checks.
+func transformForCount(db *interval.Database) ([][]coincSegment, error) {
+	out := make([][]coincSegment, db.Len())
+	for i, s := range db.Sequences {
+		segs, err := coincidence.Transform(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = make([]coincSegment, len(segs))
+		for j, seg := range segs {
+			out[i][j] = coincSegment(seg.Symbols)
+		}
+	}
+	return out, nil
+}
+
+// containsCoinc reports whether the sequence's segments contain p as a
+// subsequence, each pattern element a subset of the matched segment.
+// Greedy earliest-match is complete for subsequence containment, and it
+// is exactly the projection rule the coincidence miner uses, so the
+// counted support matches mined support.
+func containsCoinc(segs []coincSegment, p pattern.Coinc) bool {
+	if len(p.Elements) == 0 {
+		return false
+	}
+	next := 0
+	for _, el := range p.Elements {
+		found := false
+		for ; next < len(segs); next++ {
+			if containsSorted(segs[next], el) {
+				found = true
+				next++
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// containsSorted reports whether sorted needle ⊆ sorted haystack via a
+// single merge walk.
+func containsSorted(haystack coincSegment, needle []string) bool {
+	if len(needle) > len(haystack) {
+		return false
+	}
+	i := 0
+	for _, want := range needle {
+		for i < len(haystack) && haystack[i] < want {
+			i++
+		}
+		if i >= len(haystack) || haystack[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}

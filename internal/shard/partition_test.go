@@ -1,0 +1,220 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/shard"
+)
+
+// dbWithSizes builds a database whose sequence i holds sizes[i]
+// one-interval-per-unit intervals, so interval counts are exactly
+// controllable.
+func dbWithSizes(sizes ...int) *interval.Database {
+	db := &interval.Database{}
+	for s, n := range sizes {
+		seq := interval.Sequence{ID: fmt.Sprintf("s%d", s)}
+		for i := 0; i < n; i++ {
+			seq.Intervals = append(seq.Intervals, interval.Interval{
+				Symbol: "A",
+				Start:  int64(i),
+				End:    int64(i + 1),
+			})
+		}
+		db.Sequences = append(db.Sequences, seq)
+	}
+	return db
+}
+
+// coverage asserts the partition is a disjoint cover of the database.
+func coverage(t *testing.T, p *shard.Partition, n int) {
+	t.Helper()
+	seen := make(map[int32]int)
+	for i := 0; i < p.NumShards(); i++ {
+		prev := int32(-1)
+		for _, s := range p.Seqs(i) {
+			if s <= prev {
+				t.Fatalf("shard %d indices not ascending: %v", i, p.Seqs(i))
+			}
+			prev = s
+			seen[s]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("partition covers %d of %d sequences", len(seen), n)
+	}
+	for s, c := range seen {
+		if c != 1 {
+			t.Fatalf("sequence %d assigned to %d shards", s, c)
+		}
+	}
+}
+
+// TestPartitionBalance: LPT keeps uniform-ish loads tight.
+func TestPartitionBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sizes := make([]int, 64)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(20)
+	}
+	db := dbWithSizes(sizes...)
+	p := shard.New(db, 4, 1)
+	coverage(t, p, 64)
+	if p.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", p.NumShards())
+	}
+	if s := p.Skew(); s > 1.5 {
+		t.Fatalf("skew %.2f > 1.5 on a 64-sequence uniform load", s)
+	}
+}
+
+// TestPartitionMinSeqs: tiny datasets stay unsharded and mid-size
+// datasets cap the shard count so no shard averages below minSeqs.
+func TestPartitionMinSeqs(t *testing.T) {
+	small := dbWithSizes(1, 2, 3)
+	if got := shard.New(small, 8, 16).NumShards(); got != 1 {
+		t.Fatalf("3 sequences with minSeqs 16: NumShards = %d, want 1", got)
+	}
+	mid := dbWithSizes(make([]int, 40)...)
+	for i := range mid.Sequences {
+		mid.Sequences[i].Intervals = []interval.Interval{{Symbol: "A", Start: 0, End: 1}}
+	}
+	if got := shard.New(mid, 8, 16).NumShards(); got != 2 {
+		t.Fatalf("40 sequences with minSeqs 16: NumShards = %d, want 2", got)
+	}
+}
+
+// TestSkewedPartitionGuard is the degenerate-shard guard from the issue:
+// one sequence holding ~90% of all intervals must not produce a 1-hot
+// partition — LPT isolates the giant on one shard and spreads the rest,
+// so every other shard still gets work.
+func TestSkewedPartitionGuard(t *testing.T) {
+	sizes := make([]int, 33)
+	sizes[0] = 288 // ~90% of 320 total intervals
+	for i := 1; i < len(sizes); i++ {
+		sizes[i] = 1
+	}
+	db := dbWithSizes(sizes...)
+	p := shard.New(db, 4, 1)
+	coverage(t, p, 33)
+	for i := 0; i < p.NumShards(); i++ {
+		if p.Load(i) == 0 {
+			t.Fatalf("shard %d has zero load: loads=%v", i, loads(p))
+		}
+	}
+	// The giant sequence must sit alone; the 32 unit sequences split
+	// across the other three shards.
+	for i := 0; i < p.NumShards(); i++ {
+		if p.Load(i) == 288 && len(p.Seqs(i)) != 1 {
+			t.Fatalf("giant sequence shares shard %d with %d others", i, len(p.Seqs(i))-1)
+		}
+	}
+}
+
+// TestExtendKeepsShardIDsStable: appending a few sequences must not move
+// existing ones between shards (projection caches and metrics keyed by
+// shard id stay valid).
+func TestExtendKeepsShardIDsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	sizes := make([]int, 48)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(10)
+	}
+	db := dbWithSizes(sizes...)
+	p := shard.New(db, 4, 1)
+
+	shardOf := assignment(p)
+	grown := dbWithSizes(append(append([]int(nil), sizes...), 5, 7, 3)...)
+	next := p.Extend(grown, 4, 1, shard.DefaultSkewThreshold)
+	coverage(t, next, 51)
+	nextOf := assignment(next)
+	for s, sh := range shardOf {
+		if nextOf[s] != sh {
+			t.Fatalf("sequence %d moved from shard %d to %d on append", s, sh, nextOf[s])
+		}
+	}
+}
+
+// TestAppendRepartitionBoundsSkew is the rebalance gate from the issue:
+// an append that the stable-ID greedy extension cannot balance (it blows
+// the skew threshold) must trigger a full repartition that brings the
+// max/min shard interval-count ratio to ≤ 2.
+func TestAppendRepartitionBoundsSkew(t *testing.T) {
+	// 80 medium sequences, perfectly balanced: 4 shards × 300 intervals.
+	sizes := make([]int, 80)
+	for i := range sizes {
+		sizes[i] = 15
+	}
+	db := dbWithSizes(sizes...)
+	p := shard.New(db, 4, 1)
+	if s := p.Skew(); s != 1 {
+		t.Fatalf("base skew %.2f, want 1", s)
+	}
+
+	// Append one giant plus many small sequences. The greedy extension
+	// must drop the giant on an already-loaded shard (it cannot move the
+	// shard's existing sequences away), leaving loads {1700, 800, 800,
+	// 800} — skew 2.125, past the threshold — so Extend must fall back to
+	// a fresh LPT, which isolates the giant (1400) and spreads the rest
+	// (900 per shard): ratio 1.56 ≤ 2.
+	sizes = append(sizes, 1400)
+	for i := 0; i < 300; i++ {
+		sizes = append(sizes, 5)
+	}
+	grown := dbWithSizes(sizes...)
+	next := p.Extend(grown, 4, 1, shard.DefaultSkewThreshold)
+	coverage(t, next, len(sizes))
+	if s := next.Skew(); s > 2 {
+		t.Fatalf("post-append skew %.2f > 2 (loads %v)", s, loads(next))
+	}
+	// The giant alone on its shard proves the repartition really ran:
+	// the greedy extension would have left the shard's 20 old sequences
+	// next to it.
+	giantShard := assignment(next)[80]
+	if got := len(next.Seqs(giantShard)); got != 1 {
+		t.Fatalf("giant shares its shard with %d sequences; repartition did not run", got-1)
+	}
+}
+
+// TestExtendRepartitionsOnShardCountChange: growing past the minSeqs
+// cap must repartition to the larger shard count.
+func TestExtendRepartitionsOnShardCountChange(t *testing.T) {
+	sizes := make([]int, 20)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	db := dbWithSizes(sizes...)
+	p := shard.New(db, 4, 16) // 20/16 -> 1 shard
+	if p.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", p.NumShards())
+	}
+	grown := dbWithSizes(append(append([]int(nil), sizes...), make([]int, 44)...)...)
+	for i := 20; i < 64; i++ {
+		grown.Sequences[i].Intervals = []interval.Interval{{Symbol: "A", Start: 0, End: 1}}
+	}
+	next := p.Extend(grown, 4, 16, shard.DefaultSkewThreshold)
+	if next.NumShards() != 4 {
+		t.Fatalf("post-growth NumShards = %d, want 4", next.NumShards())
+	}
+	coverage(t, next, 64)
+}
+
+func assignment(p *shard.Partition) map[int32]int {
+	m := make(map[int32]int)
+	for i := 0; i < p.NumShards(); i++ {
+		for _, s := range p.Seqs(i) {
+			m[s] = i
+		}
+	}
+	return m
+}
+
+func loads(p *shard.Partition) []int64 {
+	out := make([]int64, p.NumShards())
+	for i := range out {
+		out[i] = p.Load(i)
+	}
+	return out
+}

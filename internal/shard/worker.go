@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+)
+
+// Kind selects which pattern family a shard request mines or counts.
+type Kind string
+
+const (
+	KindTemporal    Kind = "temporal"
+	KindCoincidence Kind = "coincidence"
+)
+
+// MineShardRequest asks a worker to mine its shard completely at the
+// coordinator-supplied local bound (carried in Opt.MinCount). TopK > 0
+// selects the top-k miner with Opt.MinCount as the support floor.
+type MineShardRequest struct {
+	Shard int
+	Kind  Kind
+	TopK  int
+	Opt   core.Options
+}
+
+// MineShardResponse carries one shard's results. Temporal results are
+// raw (occurrence-labeled) so their supports are additive across
+// shards; normalization happens once, at the coordinator.
+type MineShardResponse struct {
+	Temporal []pattern.TemporalResult
+	Coinc    []pattern.CoincResult
+	Stats    core.Stats
+}
+
+// CountRequest asks a worker for the exact local support of patterns it
+// did not report (they fell below its relaxed local bound). MaxSpan and
+// MaxGap replicate the mining constraints so the counted support equals
+// what the miner would have emitted.
+type CountRequest struct {
+	Shard    int
+	Kind     Kind
+	Temporal []pattern.Temporal
+	Coinc    []pattern.Coinc
+	MaxSpan  interval.Time
+	MaxGap   interval.Time
+}
+
+// CountResponse holds per-pattern local supports, parallel to the
+// request's pattern slice.
+type CountResponse struct {
+	Supports []int
+}
+
+// Worker mines or counts over one shard. The interface is deliberately
+// RPC-shaped — context plus plain request/response structs, no shared
+// memory beyond the shard handed to the worker at construction — so a
+// remote (HTTP/gRPC) implementation can replace LocalWorker without
+// touching the Coordinator.
+type Worker interface {
+	Mine(ctx context.Context, req *MineShardRequest) (*MineShardResponse, error)
+	Count(ctx context.Context, req *CountRequest) (*CountResponse, error)
+}
+
+// LocalWorker runs the existing dense-index miner in-process over one
+// shard database. Count encodings are built lazily on first use and
+// cached for the worker's lifetime (the shard database is immutable).
+type LocalWorker struct {
+	db *interval.Database
+
+	tempOnce sync.Once
+	tempErr  error
+	tempIdx  []seqIndex
+
+	coOnce sync.Once
+	coErr  error
+	coDB   [][]coincSegment
+}
+
+// NewLocalWorker wraps db, which the worker treats as immutable.
+func NewLocalWorker(db *interval.Database) *LocalWorker {
+	return &LocalWorker{db: db}
+}
+
+// Mine runs the shard's miner per the request.
+func (w *LocalWorker) Mine(ctx context.Context, req *MineShardRequest) (*MineShardResponse, error) {
+	switch req.Kind {
+	case KindTemporal:
+		var (
+			rs  []pattern.TemporalResult
+			st  core.Stats
+			err error
+		)
+		if req.TopK > 0 {
+			rs, st, err = core.MineTemporalTopKCtx(ctx, w.db, req.TopK, req.Opt)
+		} else {
+			rs, st, err = core.MineTemporalCtx(ctx, w.db, req.Opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &MineShardResponse{Temporal: rs, Stats: st}, nil
+	case KindCoincidence:
+		var (
+			rs  []pattern.CoincResult
+			st  core.Stats
+			err error
+		)
+		if req.TopK > 0 {
+			rs, st, err = core.MineCoincidenceTopKCtx(ctx, w.db, req.TopK, req.Opt)
+		} else {
+			rs, st, err = core.MineCoincidenceCtx(ctx, w.db, req.Opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &MineShardResponse{Coinc: rs, Stats: st}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown kind %q", req.Kind)
+	}
+}
+
+// countPollEvery bounds how many sequences a Count scans between
+// context checks, so cancellation propagates promptly on large shards.
+const countPollEvery = 64
+
+// Count computes exact local supports for the requested patterns using
+// the constrained matchers in match.go.
+func (w *LocalWorker) Count(ctx context.Context, req *CountRequest) (*CountResponse, error) {
+	switch req.Kind {
+	case KindTemporal:
+		w.tempOnce.Do(func() {
+			slices, err := pattern.EncodeDatabase(w.db)
+			if err != nil {
+				w.tempErr = err
+				return
+			}
+			w.tempIdx = make([]seqIndex, len(slices))
+			for i, s := range slices {
+				w.tempIdx[i] = buildSeqIndex(s)
+			}
+		})
+		if w.tempErr != nil {
+			return nil, w.tempErr
+		}
+		sup := make([]int, len(req.Temporal))
+		for si, ix := range w.tempIdx {
+			if si%countPollEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			for pi := range req.Temporal {
+				if ix.supports(req.Temporal[pi], req.MaxSpan, req.MaxGap) {
+					sup[pi]++
+				}
+			}
+		}
+		return &CountResponse{Supports: sup}, nil
+	case KindCoincidence:
+		w.coOnce.Do(func() {
+			w.coDB, w.coErr = transformForCount(w.db)
+		})
+		if w.coErr != nil {
+			return nil, w.coErr
+		}
+		sup := make([]int, len(req.Coinc))
+		for si, segs := range w.coDB {
+			if si%countPollEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			for pi := range req.Coinc {
+				if containsCoinc(segs, req.Coinc[pi]) {
+					sup[pi]++
+				}
+			}
+		}
+		return &CountResponse{Supports: sup}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown kind %q", req.Kind)
+	}
+}
