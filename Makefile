@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race contract recovery chaos verify bench bench-all profile
+.PHONY: build vet test race lint contract recovery chaos verify bench bench-all profile
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Unchecked-error lint over the durability layers, where a dropped
+# error result means silent data loss. vet plus the repo's own
+# errcheck-style checker (cmd/errlint); assign to _ to mark a
+# deliberately best-effort call.
+lint: vet
+	$(GO) run ./cmd/errlint ./internal/persist ./internal/blob
 
 # Race-enabled run; the cancellation/backpressure tests exercise real
 # concurrency, so this is the form CI should run.
@@ -39,11 +46,12 @@ chaos:
 	$(GO) test -race ./internal/persist -run 'TestBootRemoves|TestWALWriteRetries|TestPermanentFailure|TestFsyncFailure|TestSnapshotFault' -count=1
 
 # The full pre-merge gate. vet and race cover every package, including
-# internal/obs and the instrumented server/scheduler paths; contract
-# keeps the README API table in lockstep with the served routes;
-# recovery re-runs the persist crash-recovery suite by name; chaos
-# re-rolls the randomized fault schedule with a fresh seed.
-verify: build vet race contract recovery chaos
+# internal/obs and the instrumented server/scheduler paths; lint fails
+# on unchecked errors in the durability layers; contract keeps the
+# README API table in lockstep with the served routes; recovery re-runs
+# the persist crash-recovery suite by name; chaos re-rolls the
+# randomized fault schedule with a fresh seed.
+verify: build vet lint race contract recovery chaos
 
 # Runs the Fig-1 workload (at GOMAXPROCS=1 and =NumCPU), the sharded
 # Fig-1a series, and the core micro-benchmarks, writing BENCH_core.json

@@ -31,18 +31,26 @@
 // (single-flight); -cache-budget sizes the cache and -no-cache disables
 // both. Responses carry strong ETags and honor If-None-Match with 304.
 //
-// Durability: with -data-dir the datasets survive restarts. Every
-// mutation (PUT, append, DELETE) commits to a CRC32C-checksummed
-// write-ahead log before it is acknowledged; once the log passes
-// -wal-max-bytes the server cuts a snapshot and compacts. On boot the
-// newest valid snapshot is loaded and the WAL tail replayed (a torn
-// final record — the signature of a crash mid-write — is truncated
-// away), restoring dataset contents, versions, and ETag continuity.
-// -fsync picks the durability/latency trade-off: always (fsync per
-// record), interval (background flush every 100ms), never (OS decides).
-// Without -data-dir the server is purely in-memory, as before.
-// -inspect-wal <dir> dumps a data directory's record headers and flags
-// the first corrupt frame, then exits.
+// Durability: with -data-dir (or -store-url) the datasets survive
+// restarts. Every mutation (PUT, append, DELETE) commits to a
+// CRC32C-checksummed write-ahead log before it is acknowledged; once
+// the log passes -wal-max-bytes the server cuts a snapshot and
+// compacts. On boot the newest valid snapshot is loaded and the WAL
+// tail replayed (a torn final record — the signature of a crash
+// mid-write — is truncated away), restoring dataset contents, versions,
+// and ETag continuity. -fsync picks the durability/latency trade-off:
+// always (fsync per record), interval (background flush every 100ms),
+// never (OS decides). Without either flag the server is purely
+// in-memory, as before.
+//
+// Storage backends: persistence does all its I/O through a pluggable
+// blob store (internal/blob). -store-url selects the backend by URL —
+// file:///var/lib/tpmd for the classic directory layout (-data-dir X is
+// shorthand for -store-url file://X), mem://name for ephemeral
+// process-shared storage (durability semantics without disk; data dies
+// with the process no matter what -fsync says). When both flags are
+// set, -store-url wins. -inspect-wal <dir-or-url> dumps a store's
+// record headers and flags the first corrupt frame, then exits.
 //
 // Fault tolerance: transient journal I/O errors are retried with
 // jittered backoff; repeated or permanent failures (disk full,
@@ -83,9 +91,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served only by -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"tpminer/internal/blob"
 	"tpminer/internal/obs"
 	"tpminer/internal/persist"
 	"tpminer/internal/resilience"
@@ -112,10 +122,11 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
-	dataDir := fs.String("data-dir", "", "directory for the dataset WAL and snapshots (empty = in-memory only)")
-	fsyncMode := fs.String("fsync", persist.FsyncAlways, "WAL fsync policy with -data-dir: always, interval, or never")
+	dataDir := fs.String("data-dir", "", "directory for the dataset WAL and snapshots (empty = in-memory only); shorthand for -store-url file://<dir>")
+	storeURL := fs.String("store-url", "", "blob-store URL for persistence, e.g. file:///var/lib/tpmd or mem://scratch (overrides -data-dir)")
+	fsyncMode := fs.String("fsync", persist.FsyncAlways, "WAL fsync policy with persistence: always, interval, or never")
 	walMaxBytes := fs.Int64("wal-max-bytes", persist.DefaultWALMaxBytes, "WAL size that triggers snapshot + compaction")
-	inspectWAL := fs.String("inspect-wal", "", "dump the WAL/snapshot record headers in this data dir and exit")
+	inspectWAL := fs.String("inspect-wal", "", "dump the WAL/snapshot record headers in this data dir (or store URL) and exit")
 	probeInterval := fs.Duration("probe-interval", time.Second, "how often a degraded server probes persistence for recovery")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "weighted persistence-failure score that trips the breaker into read-only mode (0 = default)")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject persistence faults, e.g. 'wal_write:eio:0.1,snapshot_sync:latency:0.5:20ms'")
@@ -127,6 +138,14 @@ func run(args []string) error {
 	}
 
 	if *inspectWAL != "" {
+		if strings.Contains(*inspectWAL, "://") {
+			bs, err := blob.NewStore(*inspectWAL)
+			if err != nil {
+				return err
+			}
+			defer bs.Close()
+			return persist.InspectStore(bs, *inspectWAL, os.Stdout)
+		}
 		return persist.Inspect(*inspectWAL, os.Stdout)
 	}
 
@@ -148,9 +167,18 @@ func run(args []string) error {
 		logger.Warn("FAULT INJECTION ACTIVE: persistence I/O will fail on purpose; never use -fault-profile in production",
 			"profile", *faultProfile, "seed", *faultSeed)
 	}
+	// -store-url names the persistence backend directly; -data-dir is
+	// shorthand for file://<dir>. Explicit URL wins when both are set.
+	url := *storeURL
+	if url == "" && *dataDir != "" {
+		url = "file://" + *dataDir
+	}
+	if *storeURL != "" && *dataDir != "" {
+		logger.Warn("both -store-url and -data-dir set; using -store-url", "store_url", *storeURL, "data_dir", *dataDir)
+	}
 	var pstore *persist.Store
-	if *dataDir != "" {
-		pstore, err = persist.Open(*dataDir, persist.Options{
+	if url != "" {
+		pstore, err = persist.OpenURL(url, persist.Options{
 			FsyncMode:   *fsyncMode,
 			WALMaxBytes: *walMaxBytes,
 			Logger:      logger,
@@ -171,7 +199,7 @@ func run(args []string) error {
 			logger.Error("persist close failed", "error", err)
 			return
 		}
-		logger.Info("persist flushed and snapshotted", "dir", *dataDir)
+		logger.Info("persist flushed and snapshotted", "store", url)
 	}
 	svc := server.NewWithConfig(logger, server.Config{
 		MaxConcurrentMines:      *maxMines,

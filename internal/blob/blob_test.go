@@ -1,0 +1,214 @@
+package blob_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tpminer/internal/blob"
+	"tpminer/internal/blob/blobtest"
+)
+
+// trackingFactory builds a blobtest.Factory whose Reopen re-resolves
+// the URL the store was first opened with — the conformance suite's
+// stand-in for a process restart.
+func trackingFactory(t *testing.T, urlFor func(t *testing.T) string) blobtest.Factory {
+	var mu sync.Mutex
+	urls := map[blob.Store]string{}
+	open := func(t *testing.T, url string) blob.Store {
+		t.Helper()
+		s, err := blob.NewStore(url)
+		if err != nil {
+			t.Fatalf("NewStore(%s): %v", url, err)
+		}
+		mu.Lock()
+		urls[s] = url
+		mu.Unlock()
+		return s
+	}
+	return blobtest.Factory{
+		New: func(t *testing.T) blob.Store { return open(t, urlFor(t)) },
+		Reopen: func(t *testing.T, old blob.Store) blob.Store {
+			mu.Lock()
+			url := urls[old]
+			mu.Unlock()
+			if url == "" {
+				t.Fatal("reopen of a store this factory did not create")
+			}
+			return open(t, url)
+		},
+	}
+}
+
+var memNameSeq atomic.Int64
+
+// memURL mints a fresh process-shared mem:// name per subtest.
+func memURL(t *testing.T) string {
+	return fmt.Sprintf("mem://conformance-%s-%d",
+		strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()), memNameSeq.Add(1))
+}
+
+func TestConformanceMem(t *testing.T) {
+	blobtest.Run(t, trackingFactory(t, memURL))
+}
+
+func TestConformanceFile(t *testing.T) {
+	blobtest.Run(t, trackingFactory(t, func(t *testing.T) string {
+		return "file://" + t.TempDir()
+	}))
+}
+
+// TestConformanceInstrumented proves the metrics decorator is
+// semantics-preserving by running the full suite through it.
+func TestConformanceInstrumented(t *testing.T) {
+	var mu sync.Mutex
+	dirs := map[blob.Store]string{}
+	open := func(t *testing.T, dir string) blob.Store {
+		t.Helper()
+		inner, err := blob.NewStore("file://" + dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := blob.Instrument(inner)
+		mu.Lock()
+		dirs[s] = dir
+		mu.Unlock()
+		return s
+	}
+	blobtest.Run(t, blobtest.Factory{
+		New: func(t *testing.T) blob.Store { return open(t, t.TempDir()) },
+		Reopen: func(t *testing.T, old blob.Store) blob.Store {
+			mu.Lock()
+			dir := dirs[old]
+			mu.Unlock()
+			return open(t, dir)
+		},
+	})
+}
+
+func TestNewStoreURLs(t *testing.T) {
+	for _, bad := range []string{"", "nourl", "ftp://x", "s3://bucket", "file://"} {
+		if s, err := blob.NewStore(bad); err == nil {
+			s.Close()
+			t.Errorf("NewStore(%q) succeeded, want error", bad)
+		}
+	}
+	s, err := blob.NewStore("file://" + t.TempDir())
+	if err != nil {
+		t.Fatalf("file store: %v", err)
+	}
+	if s.Backend() != "file" {
+		t.Errorf("Backend = %q, want file", s.Backend())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemSharing: unnamed mem stores are private; named ones are
+// process-shared, which is how a "restart" against mem:// finds its
+// data again.
+func TestMemSharing(t *testing.T) {
+	a, _ := blob.NewStore("mem://")
+	b, _ := blob.NewStore("mem://")
+	if err := a.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("k"); !errors.Is(err, blob.ErrNotFound) {
+		t.Errorf("unnamed mem stores share data: %v", err)
+	}
+
+	n1, _ := blob.NewStore("mem://shared-test")
+	n2, _ := blob.NewStore("mem://shared-test")
+	if err := n1.Put("k", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n2.Get("k")
+	if err != nil || string(got) != "y" {
+		t.Errorf("named mem stores not shared: %q, %v", got, err)
+	}
+}
+
+// opCount is a Metrics sink recording per-op counts, bytes, and errors.
+type opCount struct {
+	mu      sync.Mutex
+	ops     map[string]int
+	bytes   map[string]int
+	errs    map[string]int
+	backend string
+}
+
+func (c *opCount) Op(backend, op string, n int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = backend
+	c.ops[op]++
+	c.bytes[op] += n
+	if err != nil {
+		c.errs[op]++
+	}
+}
+
+func TestInstrumentedRecordsOps(t *testing.T) {
+	inner, err := blob.NewStore("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := blob.Instrument(inner)
+	sink := &opCount{ops: map[string]int{}, bytes: map[string]int{}, errs: map[string]int{}}
+
+	// Before a sink is attached, operations must still work.
+	if err := s.Put("pre", []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(sink)
+
+	if err := s.Put("k", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := s.List(""); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Append("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.backend != "mem" {
+		t.Errorf("backend label = %q", sink.backend)
+	}
+	for op, want := range map[string]int{"put": 1, "get": 2, "list": 1, "append_open": 1, "append_write": 1, "append_sync": 1} {
+		if sink.ops[op] != want {
+			t.Errorf("ops[%s] = %d, want %d", op, sink.ops[op], want)
+		}
+	}
+	if sink.bytes["put"] != 5 || sink.bytes["append_write"] != 3 {
+		t.Errorf("byte counts: put=%d append_write=%d", sink.bytes["put"], sink.bytes["append_write"])
+	}
+	if sink.errs["get"] != 1 {
+		t.Errorf("errs[get] = %d, want 1 (the missing key)", sink.errs["get"])
+	}
+	if sink.ops["put"] != 1 {
+		t.Errorf("pre-sink put leaked into the counts: %d", sink.ops["put"])
+	}
+}

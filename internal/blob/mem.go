@@ -1,0 +1,169 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// memRegistry maps shared mem:// store names to their live instances,
+// so NewStore("mem://x") returns the same backing objects every time
+// within a process — the property that lets recovery tests "restart"
+// against a memory backend.
+var (
+	memRegMu sync.Mutex
+	memReg   = make(map[string]*memStore)
+)
+
+// openMemStore returns the shared store registered under name, creating
+// it on first use; an empty name is a private store that dies with the
+// last reference.
+func openMemStore(name string) *memStore {
+	if name == "" {
+		return newMemStore("")
+	}
+	memRegMu.Lock()
+	defer memRegMu.Unlock()
+	s, ok := memReg[name]
+	if !ok {
+		s = newMemStore(name)
+		memReg[name] = s
+	}
+	return s
+}
+
+// memStore holds every object as a byte slice. Objects are stored by
+// value semantics: Put copies in, Get copies out, so no caller aliasing
+// can corrupt the store.
+type memStore struct {
+	name string
+	mu   sync.RWMutex
+	objs map[string][]byte
+	open map[string]bool // keys with a live appender (single-writer)
+}
+
+func newMemStore(name string) *memStore {
+	return &memStore{name: name, objs: make(map[string][]byte), open: make(map[string]bool)}
+}
+
+func (s *memStore) Backend() string { return "mem" }
+
+func (s *memStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *memStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objs[key]
+	if !ok {
+		return nil, fmt.Errorf("blob: get %s: %w", key, ErrNotFound)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (s *memStore) Open(key string) (io.ReadCloser, error) {
+	data, err := s.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (s *memStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.objs {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *memStore) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objs, key)
+	return nil
+}
+
+// Sync is a no-op: memory has no stronger durability level to flush to.
+func (s *memStore) Sync() error { return nil }
+
+func (s *memStore) Append(key string) (Appender, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open[key] {
+		return nil, fmt.Errorf("blob: append %s: an appender is already open (single-writer)", key)
+	}
+	if _, ok := s.objs[key]; !ok {
+		s.objs[key] = []byte{}
+	}
+	s.open[key] = true
+	return &memAppender{store: s, key: key}, nil
+}
+
+// Close keeps the objects: a shared (named) store lives in the registry
+// for the life of the process, mirroring how file:// data outlives its
+// handle.
+func (s *memStore) Close() error { return nil }
+
+type memAppender struct {
+	store *memStore
+	key   string
+}
+
+func (a *memAppender) Write(b []byte) (int, error) {
+	a.store.mu.Lock()
+	defer a.store.mu.Unlock()
+	a.store.objs[a.key] = append(a.store.objs[a.key], b...)
+	return len(b), nil
+}
+
+func (a *memAppender) Sync() error { return nil }
+
+func (a *memAppender) Truncate(size int64) error {
+	a.store.mu.Lock()
+	defer a.store.mu.Unlock()
+	cur := a.store.objs[a.key]
+	if size < 0 || size > int64(len(cur)) {
+		return fmt.Errorf("blob: truncate %s to %d: object holds %d bytes", a.key, size, len(cur))
+	}
+	// Re-slice on a copy so bytes handed out by earlier Gets can never
+	// be clobbered by post-truncate appends.
+	a.store.objs[a.key] = append([]byte(nil), cur[:size]...)
+	return nil
+}
+
+func (a *memAppender) Size() int64 {
+	a.store.mu.RLock()
+	defer a.store.mu.RUnlock()
+	return int64(len(a.store.objs[a.key]))
+}
+
+func (a *memAppender) Close() error {
+	a.store.mu.Lock()
+	defer a.store.mu.Unlock()
+	delete(a.store.open, a.key)
+	return nil
+}

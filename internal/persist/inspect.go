@@ -4,52 +4,81 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
+
+	"tpminer/internal/blob"
 )
 
+// printer wraps an io.Writer and remembers the first write error, so a
+// long dump can short-circuit instead of formatting into a broken pipe
+// and the caller gets the failure instead of silent truncation.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
 // Inspect dumps the data directory's snapshot and WAL record headers to
-// w for offline debugging: one line per file and per record, and an
-// explicit flag on the first damaged frame of each log (with its byte
-// offset and whether it looks torn or corrupt). It never modifies the
-// directory. The returned error covers only I/O on the directory
-// itself; damaged records are reported in the output, not as errors.
+// w for offline debugging — the file:// convenience form of
+// InspectStore. It never modifies the directory.
 func Inspect(dir string, w io.Writer) error {
-	entries, err := os.ReadDir(dir)
+	bs, err := blob.NewStore("file://" + dir)
+	if err != nil {
+		return fmt.Errorf("persist: inspect: %w", err)
+	}
+	defer bs.Close()
+	return InspectStore(bs, dir, w)
+}
+
+// InspectStore dumps the store's snapshot and WAL record headers to w:
+// one line per blob and per record, and an explicit flag on the first
+// damaged frame of each log (with its byte offset and whether it looks
+// torn or corrupt). label names the store in the output. It never
+// modifies the store. The returned error covers listing the store and
+// writing to w; an unreadable blob is reported on its own entry in the
+// output, not as an error, so one bad object does not hide the rest.
+func InspectStore(bs blob.Store, label string, w io.Writer) error {
+	keys, err := bs.List("")
 	if err != nil {
 		return fmt.Errorf("persist: inspect: %w", err)
 	}
 	var snaps, wals []string
-	for _, e := range entries {
-		if _, ok := parseSeqName(e.Name(), "snapshot-", ".snap"); ok {
-			snaps = append(snaps, e.Name())
+	for _, key := range keys {
+		if isSnapshotKey(key) {
+			snaps = append(snaps, key)
 		}
-		if _, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
-			wals = append(wals, e.Name())
+		if isWALKey(key) {
+			wals = append(wals, key)
 		}
 	}
-	sort.Strings(snaps)
-	sort.Strings(wals)
 	if len(snaps) == 0 && len(wals) == 0 {
-		fmt.Fprintf(w, "%s: no snapshots or WAL segments\n", dir)
-		return nil
+		p := &printer{w: w}
+		p.printf("%s: no snapshots or WAL segments\n", label)
+		return p.err
 	}
+	p := &printer{w: w}
 
 	for _, name := range snaps {
-		path := filepath.Join(dir, name)
-		fi, _ := os.Stat(path)
-		var size int64
-		if fi != nil {
-			size = fi.Size()
-		}
-		state, verSeq, err := readSnapshotFile(path)
+		buf, err := bs.Get(name)
 		if err != nil {
-			fmt.Fprintf(w, "snapshot %s  %d bytes  INVALID: %v\n", name, size, err)
+			// A stat/read failure is a finding, not a zero-byte
+			// snapshot: report it on the entry.
+			p.printf("snapshot %s  UNREADABLE: %v\n", name, err)
 			continue
 		}
-		fmt.Fprintf(w, "snapshot %s  %d bytes  version=%d datasets=%d\n",
-			name, size, verSeq, len(state))
+		state, verSeq, err := decodeSnapshotFile(buf)
+		if err != nil {
+			p.printf("snapshot %s  %d bytes  INVALID: %v\n", name, len(buf), err)
+			continue
+		}
+		p.printf("snapshot %s  %d bytes  version=%d datasets=%d\n",
+			name, len(buf), verSeq, len(state))
 		names := make([]string, 0, len(state))
 		for n := range state {
 			names = append(names, n)
@@ -57,19 +86,18 @@ func Inspect(dir string, w io.Writer) error {
 		sort.Strings(names)
 		for _, n := range names {
 			ds := state[n]
-			fmt.Fprintf(w, "  dataset %-20q version=%-6d sequences=%-6d intervals=%d\n",
+			p.printf("  dataset %-20q version=%-6d sequences=%-6d intervals=%d\n",
 				n, ds.Version, len(ds.DB.Sequences), ds.DB.NumIntervals())
 		}
 	}
 
 	for _, name := range wals {
-		path := filepath.Join(dir, name)
-		data, err := os.ReadFile(path)
+		data, err := readAllBlob(bs, name)
 		if err != nil {
-			fmt.Fprintf(w, "wal %s  UNREADABLE: %v\n", name, err)
+			p.printf("wal %s  UNREADABLE: %v\n", name, err)
 			continue
 		}
-		fmt.Fprintf(w, "wal %s  %d bytes\n", name, len(data))
+		p.printf("wal %s  %d bytes\n", name, len(data))
 		off := 0
 		for {
 			payload, n, err := parseFrame(data[off:])
@@ -82,27 +110,40 @@ func Inspect(dir string, w io.Writer) error {
 				if fe.torn {
 					kind = "TORN"
 				}
-				fmt.Fprintf(w, "  %s frame at offset %d: %s (%d trailing bytes unreadable)\n",
+				p.printf("  %s frame at offset %d: %s (%d trailing bytes unreadable)\n",
 					kind, off, fe.msg, len(data)-off)
 				break
 			}
 			rec, derr := decodeRecord(payload)
 			if derr != nil {
-				fmt.Fprintf(w, "  CORRUPT record at offset %d: %v (%d trailing bytes unreadable)\n",
+				p.printf("  CORRUPT record at offset %d: %v (%d trailing bytes unreadable)\n",
 					off, derr, len(data)-off)
 				break
 			}
 			switch rec.typ {
 			case recDelete:
-				fmt.Fprintf(w, "  off=%-10d %-6s version=%-6d dataset=%q payload=%dB\n",
+				p.printf("  off=%-10d %-6s version=%-6d dataset=%q payload=%dB\n",
 					off, rec.typeName(), rec.version, rec.name, len(payload))
 			default:
-				fmt.Fprintf(w, "  off=%-10d %-6s version=%-6d dataset=%q sequences=%d intervals=%d payload=%dB\n",
+				p.printf("  off=%-10d %-6s version=%-6d dataset=%q sequences=%d intervals=%d payload=%dB\n",
 					off, rec.typeName(), rec.version, rec.name,
 					len(rec.db.Sequences), rec.db.NumIntervals(), len(payload))
 			}
 			off += n
 		}
 	}
-	return nil
+	return p.err
+}
+
+// readAllBlob streams one blob into memory.
+func readAllBlob(bs blob.Store, key string) ([]byte, error) {
+	rc, err := bs.Open(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(rc)
+	if cerr := rc.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return data, err
 }

@@ -5,6 +5,17 @@
 // recovery that loads the newest valid snapshot and replays the WAL
 // tail.
 //
+// All I/O goes through a blob.Store (internal/blob): WAL segments are
+// append-only blobs, snapshots are atomic-Put blobs, and the backend is
+// chosen by URL — file://<dir> for the classic one-directory layout,
+// mem://<name> for tests and ephemeral servers, with an S3-style
+// backend as the designed next step. The blob interface carries exactly
+// the commit semantics the invariants below need: atomic Put (a
+// snapshot is never observable half-written), ordered truncatable
+// appends (the WAL's write/rollback cycle), and a namespace Sync
+// barrier (the directory fsync that makes segment creation and deletion
+// durable).
+//
 // # Protocol
 //
 // The server's store calls LogPut/LogAppend/LogDelete *before* a
@@ -22,11 +33,11 @@
 // write): the log is truncated at the first damaged frame and the
 // prefix is kept. A corrupt frame anywhere — bit-flipped CRC, garbled
 // varint — stops replay the same way, because framing after a bad
-// record cannot be trusted. Snapshots are written to a temp file and
-// renamed into place; a partial snapshot fails its length/CRC check and
-// recovery falls back to the next older valid one (the WAL covering it
-// is only deleted after the newer snapshot is durable, so no data is
-// lost).
+// record cannot be trusted. Snapshots commit atomically through
+// blob.Store.Put; a partial snapshot (possible only through damage
+// outside the store's control) fails its length/CRC check and recovery
+// falls back to the next older valid one (the WAL covering it is only
+// deleted after the newer snapshot is durable, so no data is lost).
 //
 // # Compaction
 //
@@ -42,20 +53,20 @@
 // "always" fsyncs the WAL after every record (an acknowledged mutation
 // survives power loss), "interval" fsyncs on a background tick
 // (bounded-loss, Redis-AOF-everysec style), "never" leaves flushing to
-// the OS (survives process crash, not power loss).
+// the OS (survives process crash, not power loss). Durability is also
+// bounded by the backend: mem:// never survives the process no matter
+// the mode.
 package persist
 
 import (
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"tpminer/internal/blob"
 	"tpminer/internal/interval"
 	"tpminer/internal/obs"
 	"tpminer/internal/resilience"
@@ -91,10 +102,11 @@ type Options struct {
 	WALMaxBytes int64
 	// Logger receives recovery and compaction records; nil disables.
 	Logger *slog.Logger
-	// Injector, when non-nil, is consulted before every WAL and
-	// snapshot I/O operation so tests and the -fault-profile dev flag
-	// can plant errors, latency, and torn writes. nil (the production
-	// default) disables injection.
+	// Injector, when non-nil, wraps the blob store in a fault-injecting
+	// decorator so tests and the -fault-profile dev flag can plant
+	// errors, latency, and torn writes at the WAL and snapshot I/O
+	// boundaries of any backend. nil (the production default) disables
+	// injection.
 	Injector resilience.Injector
 	// Retry governs how transient I/O failures on WAL appends and
 	// snapshot writes are retried. The zero value selects the
@@ -132,7 +144,7 @@ type DatasetState struct {
 	Version uint64
 }
 
-// RecoveryStats describes what Open found on disk.
+// RecoveryStats describes what Open found in the store.
 type RecoveryStats struct {
 	// Duration is the wall time of snapshot load + WAL replay.
 	Duration time.Duration
@@ -151,7 +163,7 @@ type RecoveryStats struct {
 
 // Metrics receives the store's operational counters; implementations
 // must be safe for concurrent use. See internal/server for the
-// tpmd_persist_* Prometheus wiring.
+// tpmd_persist_* and tpmd_blob_* Prometheus wiring.
 type Metrics interface {
 	// WALBytes reports the live WAL segment's current size.
 	WALBytes(n int64)
@@ -165,23 +177,40 @@ type Metrics interface {
 	RecoveryDone(d time.Duration, recordsReplayed, truncations int)
 	// RetryDone counts one retried I/O attempt on the named operation.
 	RetryDone(op string)
+	// BlobOp counts one blob-store operation: backend kind ("file",
+	// "mem"), operation name, payload bytes moved, and error outcome.
+	BlobOp(backend, op string, n int, err error)
+}
+
+// blobMetricsAdapter bridges the blob.Metrics sink onto persist.Metrics.
+type blobMetricsAdapter struct{ m Metrics }
+
+func (a blobMetricsAdapter) Op(backend, op string, n int, err error) {
+	a.m.BlobOp(backend, op, n, err)
 }
 
 // ErrClosed is returned by mutations on a closed Store.
 var ErrClosed = errors.New("persist: store is closed")
 
-// Store is the durability engine: one directory holding the live WAL
+// Store is the durability engine: one blob store holding the live WAL
 // segment and the snapshots, plus an in-memory mirror of the full
 // dataset state (sharing the immutable databases, so the mirror costs
 // pointers, not copies) from which snapshots are cut.
 type Store struct {
-	dir    string
+	label  string // backend URL (or equivalent) for logs
 	opt    Options
 	logger *slog.Logger
 
+	// bs is the store all I/O goes through: the backend, wrapped first
+	// by the fault injector (when configured) and then by the metrics
+	// instrumentation (inst), outermost so every attempt — including
+	// injected failures — is counted.
+	bs   blob.Store
+	inst *blob.Instrumented
+
 	mu        sync.Mutex
-	wal       *os.File
-	walPath   string
+	wal       blob.Appender
+	walKey    string
 	walBytes  int64
 	compactAt int64
 	dirty     bool  // bytes written since the last fsync
@@ -195,22 +224,44 @@ type Store struct {
 	syncDone chan struct{}
 }
 
-// Open recovers the state in dir (creating it if needed) and returns a
-// store ready for logging. Recovery loads the newest valid snapshot,
-// replays the WAL tail on top, truncates at the first torn or corrupt
-// frame, and keeps appending to the surviving segment.
+// Open recovers the state in the directory dir (creating it if needed)
+// and returns a store ready for logging — the file:// convenience form
+// of OpenURL, and the layout every pre-blob data directory already has.
 func Open(dir string, opt Options) (*Store, error) {
+	return OpenURL("file://"+dir, opt)
+}
+
+// OpenURL builds the blob backend named by storeURL (see blob.NewStore
+// for the accepted schemes) and recovers the state it holds. Recovery
+// loads the newest valid snapshot, replays the WAL tail on top,
+// truncates at the first torn or corrupt frame, and keeps appending to
+// the surviving segment.
+func OpenURL(storeURL string, opt Options) (*Store, error) {
+	bs, err := blob.NewStore(storeURL)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return OpenStore(bs, storeURL, opt)
+}
+
+// OpenStore recovers the state held by an already-constructed backend.
+// The persist store takes ownership of bs: Close closes it. label names
+// the backend in logs (typically its URL).
+func OpenStore(bs blob.Store, label string, opt Options) (*Store, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+	if opt.Injector != nil {
+		bs = newFaultStore(bs, opt.Injector)
 	}
+	inst := blob.Instrument(bs)
 	s := &Store{
-		dir:       dir,
+		label:     label,
 		opt:       opt,
 		logger:    opt.Logger,
+		bs:        inst,
+		inst:      inst,
 		compactAt: opt.WALMaxBytes,
 		state:     make(map[string]DatasetState),
 	}
@@ -220,7 +271,8 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	s.recov.Duration = time.Since(start)
 	s.logger.Info("persist recovered",
-		"dir", dir,
+		"store", label,
+		"backend", bs.Backend(),
 		"datasets", len(s.state),
 		"version", s.verSeq,
 		"snapshot_loaded", s.recov.SnapshotLoaded,
@@ -248,14 +300,15 @@ func (s *Store) Recovered() (map[string]DatasetState, uint64) {
 	return out, s.verSeq
 }
 
-// RecoveryStats returns what Open found on disk.
+// RecoveryStats returns what Open found in the store.
 func (s *Store) RecoveryStats() RecoveryStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.recov
 }
 
-// SetMetrics attaches the metrics sink and immediately reports the
+// SetMetrics attaches the metrics sink — to the store and to the blob
+// instrumentation layer beneath it — and immediately reports the
 // recovery outcome and current WAL size, so a server wiring metrics
 // after Open still sees the boot numbers.
 func (s *Store) SetMetrics(m Metrics) {
@@ -263,8 +316,11 @@ func (s *Store) SetMetrics(m Metrics) {
 	defer s.mu.Unlock()
 	s.met = m
 	if m != nil {
+		s.inst.SetMetrics(blobMetricsAdapter{m})
 		m.RecoveryDone(s.recov.Duration, s.recov.RecordsReplayed, s.recov.Truncations)
 		m.WALBytes(s.walBytes)
+	} else {
+		s.inst.SetMetrics(nil)
 	}
 }
 
@@ -354,12 +410,12 @@ func (s *Store) appendLocked(payload []byte) error {
 		if s.failed != nil {
 			return s.failed
 		}
-		_, err := injWrite(s.opt.Injector, s.wal, frame, resilience.OpWALWrite)
+		_, err := s.wal.Write(frame)
 		if err == nil {
 			return nil
 		}
-		// The frame may be half on disk; cut it off so a retry starts
-		// from a clean tail.
+		// The frame may be half on the backend; cut it off so a retry
+		// starts from a clean tail.
 		if werr := s.rollbackTailLocked(err); werr != nil {
 			return werr
 		}
@@ -372,7 +428,7 @@ func (s *Store) appendLocked(payload []byte) error {
 		return fmt.Errorf("persist: WAL append: %w", err)
 	}
 	if s.opt.FsyncMode == FsyncAlways {
-		if err := injSync(s.opt.Injector, s.wal, resilience.OpWALSync); err != nil {
+		if err := s.wal.Sync(); err != nil {
 			// Roll the unacknowledged record back so it can never
 			// resurrect on replay after the caller was told it failed.
 			if werr := s.rollbackTailLocked(err); werr != nil {
@@ -404,11 +460,6 @@ func (s *Store) rollbackTailLocked(cause error) error {
 	if terr := s.wal.Truncate(s.walBytes); terr != nil {
 		s.failed = fmt.Errorf("persist: WAL wedged (write failed: %v; truncate failed: %v): %w",
 			cause, terr, resilience.ErrPermanent)
-		return s.failed
-	}
-	if _, serr := s.wal.Seek(s.walBytes, io.SeekStart); serr != nil {
-		s.failed = fmt.Errorf("persist: WAL wedged (write failed: %v; seek failed: %v): %w",
-			cause, serr, resilience.ErrPermanent)
 		return s.failed
 	}
 	return nil
@@ -486,22 +537,22 @@ func (s *Store) Probe() error {
 }
 
 // snapshotLocked writes the mirror state as a snapshot, then — when
-// rotate is set — opens a fresh WAL segment and deletes the files the
+// rotate is set — opens a fresh WAL segment and deletes the blobs the
 // snapshot supersedes.
 func (s *Store) snapshotLocked(rotate bool) error {
 	start := time.Now()
-	// The snapshot is cut from the in-memory mirror and fsynced before
-	// any WAL segment is removed, so superseded records are never
-	// deleted ahead of their replacement being durable. Transient write
-	// failures retry; writeSnapshotFile removes its temp file on every
-	// failure, so each attempt starts clean.
+	// The snapshot commits atomically (blob.Store.Put) and is made
+	// namespace-durable before any WAL segment is removed, so
+	// superseded records are never deleted ahead of their replacement
+	// being durable. Transient Put failures retry; the atomic-Put
+	// contract guarantees each failed attempt leaves nothing behind.
 	err := s.retryLocked(resilience.OpSnapshotWrite, func() error {
-		_, werr := writeSnapshotFile(s.dir, s.state, s.verSeq, s.opt.Injector)
-		return werr
+		return s.bs.Put(snapshotName(s.verSeq), encodeSnapshotFile(s.state, s.verSeq))
 	})
 	if err != nil {
 		return fmt.Errorf("persist: snapshot: %w", err)
 	}
+	s.namespaceSyncLocked()
 	if s.met != nil {
 		s.met.SnapshotDone(time.Since(start))
 	}
@@ -518,70 +569,86 @@ func (s *Store) snapshotLocked(rotate bool) error {
 }
 
 // openWALLocked closes the current segment (if any) and opens the
-// segment named for baseVer, truncating it when fresh is set.
+// segment named for baseVer, truncating it when fresh is set. The
+// namespace sync afterwards makes a freshly created segment's existence
+// durable — without it, a power cut could lose the dirent and with it
+// every record fsynced into the file.
 func (s *Store) openWALLocked(baseVer uint64, fresh bool) error {
 	if s.wal != nil {
-		s.wal.Sync()
-		s.wal.Close()
+		if err := s.wal.Sync(); err != nil {
+			s.logger.Warn("persist: final fsync of rotated WAL segment failed", "segment", s.walKey, "error", err)
+		}
+		if err := s.wal.Close(); err != nil {
+			s.logger.Warn("persist: closing rotated WAL segment failed", "segment", s.walKey, "error", err)
+		}
 		s.wal = nil
 	}
-	path := filepath.Join(s.dir, walName(baseVer))
-	flags := os.O_WRONLY | os.O_CREATE
-	if fresh {
-		flags |= os.O_TRUNC
-	}
-	if ferr := injOpenFault(s.opt.Injector); ferr != nil {
-		s.failed = fmt.Errorf("persist: open WAL: %w", ferr)
-		return s.failed
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	key := walName(baseVer)
+	a, err := s.bs.Append(key)
 	if err != nil {
 		s.failed = fmt.Errorf("persist: open WAL: %w", err)
 		return s.failed
 	}
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
-		f.Close()
-		s.failed = fmt.Errorf("persist: seek WAL: %w", err)
-		return s.failed
+	if fresh && a.Size() > 0 {
+		if err := a.Truncate(0); err != nil {
+			if cerr := a.Close(); cerr != nil {
+				s.logger.Warn("persist: closing unusable WAL segment failed", "segment", key, "error", cerr)
+			}
+			s.failed = fmt.Errorf("persist: reset WAL: %w", err)
+			return s.failed
+		}
 	}
-	s.wal, s.walPath, s.walBytes, s.dirty = f, path, size, false
-	syncDir(s.dir)
+	s.wal, s.walKey, s.walBytes, s.dirty = a, key, a.Size(), false
+	s.namespaceSyncLocked()
 	if s.met != nil {
 		s.met.WALBytes(s.walBytes)
 	}
 	return nil
 }
 
+// namespaceSyncLocked runs the backend's namespace durability barrier
+// (a directory fsync on file://) so blob creations, deletions, and Put
+// commits issued so far survive power loss. Refusals are logged at warn
+// — some filesystems reject directory fsync, and a silently weakened
+// durability contract is the kind of thing an operator needs to see.
+func (s *Store) namespaceSyncLocked() {
+	if err := s.bs.Sync(); err != nil {
+		s.logger.Warn("persist: namespace sync failed; recent blob creates/deletes may not survive power loss",
+			"error", err)
+	}
+}
+
 // removeSupersededLocked deletes WAL segments and snapshots made
-// redundant by a durable snapshot at verSeq.
+// redundant by a durable snapshot at verSeq, then syncs the namespace
+// so the deletions are themselves durable.
 func (s *Store) removeSupersededLocked(verSeq uint64) {
-	entries, err := os.ReadDir(s.dir)
+	keys, err := s.bs.List("")
 	if err != nil {
+		s.logger.Warn("persist: listing superseded blobs failed; skipping cleanup", "error", err)
 		return
 	}
 	keepSnap := snapshotName(verSeq)
-	for _, e := range entries {
-		name := e.Name()
-		if name == keepSnap {
+	removed := 0
+	for _, key := range keys {
+		if key == keepSnap || key == s.walKey {
 			continue
 		}
-		full := filepath.Join(s.dir, name)
-		if full == s.walPath {
-			continue
-		}
-		_, isSnap := parseSeqName(name, "snapshot-", ".snap")
-		_, isWAL := parseSeqName(name, "wal-", ".log")
-		if isSnap || isWAL || isTempFile(name) {
-			os.Remove(full)
+		if isSnapshotKey(key) || isWALKey(key) || isTempKey(key) {
+			if err := s.bs.Delete(key); err != nil {
+				s.logger.Warn("persist: deleting superseded blob failed", "key", key, "error", err)
+				continue
+			}
+			removed++
 		}
 	}
-	syncDir(s.dir)
+	if removed > 0 {
+		s.namespaceSyncLocked()
+	}
 }
 
-// isTempFile reports whether name is a leftover snapshot temp file.
-func isTempFile(name string) bool {
-	return len(name) > 4 && name[len(name)-4:] == ".tmp"
+// isTempKey reports whether key is a leftover atomic-Put temp object.
+func isTempKey(key string) bool {
+	return len(key) > 4 && key[len(key)-4:] == ".tmp"
 }
 
 // syncIfDirty flushes pending WAL bytes; the interval-mode loop calls
@@ -592,7 +659,7 @@ func (s *Store) syncIfDirty() {
 	if s.failed != nil || !s.dirty || s.wal == nil {
 		return
 	}
-	if err := injSync(s.opt.Injector, s.wal, resilience.OpWALSync); err != nil {
+	if err := s.wal.Sync(); err != nil {
 		// The already-acknowledged dirty records may or may not be on
 		// the platter (interval mode accepts bounded loss); sticky-fail
 		// so the caller's recovery probe re-journals the full state.
@@ -620,8 +687,8 @@ func (s *Store) syncLoop() {
 }
 
 // Close flushes and fsyncs the WAL, cuts a final snapshot so the next
-// boot needs no replay, and releases the store. Mutations after Close
-// return ErrClosed.
+// boot needs no replay, releases the store, and closes the blob
+// backend. Mutations after Close return ErrClosed.
 func (s *Store) Close() error {
 	if s.stopSync != nil {
 		close(s.stopSync)
@@ -645,13 +712,15 @@ func (s *Store) Close() error {
 				firstErr = err
 			} else {
 				// The snapshot covers everything; the segments are now
-				// redundant. walPath is cleared first so the live
+				// redundant. walKey is cleared first so the live
 				// segment is removed too.
-				path := s.walPath
-				s.walPath = ""
+				key := s.walKey
+				s.walKey = ""
 				s.removeSupersededLocked(s.verSeq)
-				os.Remove(path)
-				syncDir(s.dir)
+				if err := s.bs.Delete(key); err != nil {
+					s.logger.Warn("persist: deleting final WAL segment failed", "key", key, "error", err)
+				}
+				s.namespaceSyncLocked()
 			}
 		}
 	}
@@ -660,6 +729,9 @@ func (s *Store) Close() error {
 			firstErr = fmt.Errorf("persist: close WAL: %w", err)
 		}
 		s.wal = nil
+	}
+	if err := s.bs.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("persist: close blob store: %w", err)
 	}
 	s.failed = ErrClosed
 	return firstErr
@@ -670,7 +742,7 @@ func (s *Store) Close() error {
 // recover loads the newest valid snapshot, replays the WAL tail, and
 // leaves the store appending to the surviving segment.
 func (s *Store) recover() error {
-	entries, err := os.ReadDir(s.dir)
+	keys, err := s.bs.List("")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -679,29 +751,38 @@ func (s *Store) recover() error {
 		name string
 	}
 	var snaps, wals []seqFile
-	for _, e := range entries {
-		if v, ok := parseSeqName(e.Name(), "snapshot-", ".snap"); ok {
-			snaps = append(snaps, seqFile{v, e.Name()})
+	cleaned := false
+	for _, key := range keys {
+		if v, ok := parseSeqName(key, "snapshot-", ".snap"); ok {
+			snaps = append(snaps, seqFile{v, key})
 		}
-		if v, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
-			wals = append(wals, seqFile{v, e.Name()})
+		if v, ok := parseSeqName(key, "wal-", ".log"); ok {
+			wals = append(wals, seqFile{v, key})
 		}
-		if isTempFile(e.Name()) {
-			// A compaction that died mid-write leaves its snapshot temp
-			// file behind; without cleanup they accumulate forever. The
-			// rename never happened, so the file is covered by the live
-			// WAL and safe to drop.
-			if err := os.Remove(filepath.Join(s.dir, e.Name())); err == nil {
-				s.recov.TempFilesRemoved++
-				s.logger.Info("persist: removed orphaned snapshot temp file", "file", e.Name())
+		if isTempKey(key) {
+			// An atomic Put that died mid-commit leaves its temp object
+			// behind; without cleanup they accumulate forever. The
+			// commit never happened, so the object is covered by the
+			// live WAL and safe to drop.
+			if err := s.bs.Delete(key); err != nil {
+				s.logger.Warn("persist: removing orphaned temp blob failed", "key", key, "error", err)
+				continue
 			}
+			s.recov.TempFilesRemoved++
+			cleaned = true
+			s.logger.Info("persist: removed orphaned snapshot temp file", "file", key)
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq }) // newest first
 	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })    // oldest first
 
 	for _, sn := range snaps {
-		state, verSeq, err := readSnapshotFile(filepath.Join(s.dir, sn.name))
+		buf, err := s.bs.Get(sn.name)
+		if err != nil {
+			s.logger.Warn("persist: skipping unreadable snapshot", "file", sn.name, "error", err)
+			continue
+		}
+		state, verSeq, err := decodeSnapshotFile(buf)
 		if err != nil {
 			s.logger.Warn("persist: skipping invalid snapshot", "file", sn.name, "error", err)
 			continue
@@ -717,19 +798,28 @@ func (s *Store) recover() error {
 	// ends replay: frames after it cannot be trusted, and later
 	// segments would skip over the gap. (In practice compaction leaves
 	// a single live segment, so "later segments" only exist after an
-	// unclean shutdown mid-rotation.)
+	// unclean shutdown mid-rotation.) The truncation itself happens
+	// through the reopened appender below, once the surviving segment
+	// is the live one.
 	lastIdx := -1
+	truncAt := int64(-1)
 	stopped := false
 	for i, wf := range wals {
 		if stopped {
 			// Unreachable records; drop the segment so the next boot
 			// does not see a gap.
-			os.Remove(filepath.Join(s.dir, wf.name))
+			if err := s.bs.Delete(wf.name); err != nil {
+				s.logger.Warn("persist: deleting unreachable WAL segment failed", "key", wf.name, "error", err)
+			} else {
+				cleaned = true
+			}
 			continue
 		}
 		lastIdx = i
-		path := filepath.Join(s.dir, wf.name)
-		data, err := os.ReadFile(path)
+		// Stream the segment via Open — segments can be large, and the
+		// streaming read is the seam a larger-than-RAM replay would
+		// build on.
+		data, err := readAllBlob(s.bs, wf.name)
 		if err != nil {
 			return fmt.Errorf("persist: read WAL %s: %w", wf.name, err)
 		}
@@ -743,9 +833,7 @@ func (s *Store) recover() error {
 			if errors.As(err, &fe) {
 				s.logger.Warn("persist: truncating WAL at damaged frame",
 					"file", wf.name, "offset", off, "torn", fe.torn, "error", fe.msg)
-				if terr := os.Truncate(path, int64(off)); terr != nil {
-					return fmt.Errorf("persist: truncate WAL %s: %w", wf.name, terr)
-				}
+				truncAt = int64(off)
 				s.recov.Truncations++
 				stopped = true
 				break
@@ -756,9 +844,7 @@ func (s *Store) recover() error {
 				// record: same treatment as a corrupt frame.
 				s.logger.Warn("persist: truncating WAL at undecodable record",
 					"file", wf.name, "offset", off, "error", derr)
-				if terr := os.Truncate(path, int64(off)); terr != nil {
-					return fmt.Errorf("persist: truncate WAL %s: %w", wf.name, terr)
-				}
+				truncAt = int64(off)
 				s.recov.Truncations++
 				stopped = true
 				break
@@ -774,10 +860,30 @@ func (s *Store) recover() error {
 			}
 		}
 	}
+	if cleaned {
+		// Make the boot-time deletions durable: a power cut must not
+		// resurrect unreachable segments or orphaned temp objects.
+		s.namespaceSyncLocked()
+	}
 
-	// Keep appending to the surviving segment, or start a fresh one.
+	// Keep appending to the surviving segment (repairing its damaged
+	// tail first), or start a fresh one.
 	if lastIdx >= 0 {
-		return s.openWALLocked(wals[lastIdx].seq, false)
+		if err := s.openWALLocked(wals[lastIdx].seq, false); err != nil {
+			return err
+		}
+		if truncAt >= 0 {
+			if err := s.wal.Truncate(truncAt); err != nil {
+				return fmt.Errorf("persist: truncate WAL %s: %w", wals[lastIdx].name, err)
+			}
+			// Fsync the repair so the damaged tail cannot resurrect
+			// after a power cut between boot and the next record.
+			if err := s.wal.Sync(); err != nil {
+				s.logger.Warn("persist: fsync of repaired WAL tail failed", "error", err)
+			}
+			s.walBytes = truncAt
+		}
+		return nil
 	}
 	return s.openWALLocked(s.verSeq, false)
 }

@@ -4,12 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"tpminer/internal/blob"
 	"tpminer/internal/resilience"
 )
 
@@ -28,11 +28,11 @@ import (
 //	per dataset: uvarint name length + name, uvarint version,
 //	             database encoding (see wal.go)
 //
-// Snapshots are written to a temp file, fsynced, and renamed into
-// place, so a crash mid-snapshot leaves either the previous state or a
-// *.tmp file that recovery ignores. A snapshot that fails the length or
-// CRC check (e.g. a partially copied file) is skipped in favour of an
-// older valid one.
+// Snapshots commit through blob.Store.Put, whose atomic-commit contract
+// (temp + fsync + rename on file://) guarantees a crash mid-snapshot
+// leaves either the previous state or a temp object that recovery
+// removes. A snapshot that fails the length or CRC check (e.g. a
+// partially copied file) is skipped in favour of an older valid one.
 var snapshotMagic = [8]byte{'T', 'P', 'M', 'S', 'N', 'A', 'P', '1'}
 
 const snapshotHeaderLen = 20
@@ -54,7 +54,8 @@ func parseSeqName(name, prefix, ext string) (uint64, bool) {
 	return v, true
 }
 
-// encodeSnapshot serializes the full store state.
+// encodeSnapshot serializes the full store state (the payload only; see
+// encodeSnapshotFile for the framed on-disk form).
 func encodeSnapshot(state map[string]DatasetState, verSeq uint64) []byte {
 	names := make([]string, 0, len(state))
 	for name := range state {
@@ -109,54 +110,20 @@ func decodeSnapshot(payload []byte) (map[string]DatasetState, uint64, error) {
 	return state, verSeq, nil
 }
 
-// writeSnapshotFile atomically writes the snapshot for verSeq into dir
-// and returns its path. inj (nil = none) is consulted before the write,
-// fsync, and rename, so fault injection covers every step of the
-// temp-write-rename dance; the temp file is removed on every failure
-// path, so a failed attempt leaves nothing behind for retries or boot
-// cleanup to trip over.
-func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64, inj resilience.Injector) (string, error) {
+// encodeSnapshotFile frames the encoded state with the magic, length,
+// and CRC header — the exact bytes a snapshot blob holds.
+func encodeSnapshotFile(state map[string]DatasetState, verSeq uint64) []byte {
 	payload := encodeSnapshot(state, verSeq)
 	buf := make([]byte, snapshotHeaderLen, snapshotHeaderLen+len(payload))
 	copy(buf[0:8], snapshotMagic[:])
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(buf[16:20], crc32.Checksum(payload, castagnoli))
-	buf = append(buf, payload...)
-
-	final := filepath.Join(dir, snapshotName(verSeq))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return "", err
-	}
-	if _, err := injWrite(inj, f, buf, resilience.OpSnapshotWrite); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return "", err
-	}
-	if err := injSync(inj, f, resilience.OpSnapshotSync); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return "", err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return "", err
-	}
-	if err := injRename(inj, tmp, final); err != nil {
-		os.Remove(tmp)
-		return "", err
-	}
-	syncDir(dir)
-	return final, nil
+	return append(buf, payload...)
 }
 
-// readSnapshotFile loads and validates one snapshot file.
-func readSnapshotFile(path string) (map[string]DatasetState, uint64, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, 0, err
-	}
+// decodeSnapshotFile validates a snapshot blob's framing and decodes
+// the state it holds.
+func decodeSnapshotFile(buf []byte) (map[string]DatasetState, uint64, error) {
 	if len(buf) < snapshotHeaderLen {
 		return nil, 0, fmt.Errorf("truncated snapshot: %d bytes", len(buf))
 	}
@@ -174,13 +141,28 @@ func readSnapshotFile(path string) (map[string]DatasetState, uint64, error) {
 	return decodeSnapshot(payload)
 }
 
-// syncDir fsyncs a directory so renames and creates within it are
-// durable. Best effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
+// writeSnapshotFile atomically writes the snapshot for verSeq into dir
+// and returns its path — a standalone convenience over a one-shot
+// file:// store, kept for tests that plant snapshots directly. inj
+// (nil = none) is consulted at the same fault points the live store
+// exercises; the atomic-Put contract means a failed attempt leaves
+// nothing behind.
+func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64, inj resilience.Injector) (string, error) {
+	bs, err := blob.NewStore("file://" + dir)
 	if err != nil {
-		return
+		return "", err
 	}
-	d.Sync()
-	d.Close()
+	defer bs.Close()
+	var target blob.Store = bs
+	if inj != nil {
+		target = newFaultStore(bs, inj)
+	}
+	name := snapshotName(verSeq)
+	if err := target.Put(name, encodeSnapshotFile(state, verSeq)); err != nil {
+		return "", err
+	}
+	if err := target.Sync(); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name), nil
 }

@@ -28,7 +28,11 @@ import (
 //   - tpmd_persist_*: the durability subsystem — WAL size and appended
 //     records, fsyncs, snapshot count/duration, and the boot-time
 //     recovery outcome (duration, records replayed, torn-tail
-//     truncations). All zero when the server runs without -data-dir.
+//     truncations). All zero when the server runs without persistence.
+//   - tpmd_blob_*: the storage backend beneath persistence — operations,
+//     payload bytes, and errors by backend kind (file, mem) and
+//     operation (put, get, append_write, sync, ...). All zero when the
+//     server runs without persistence.
 //   - tpmd_resilience_*: the fault-handling layer — persistence retries
 //     by operation, circuit-breaker state/trips, recovery probes by
 //     outcome, requests shed by deadline-aware admission, and total
@@ -108,6 +112,9 @@ type persistMetrics struct {
 	replayed    *obs.Gauge
 	truncations *obs.Counter
 	retries     *obs.CounterVec // shared with resilienceMetrics.retries
+	blobOps     *obs.CounterVec // backend, op
+	blobBytes   *obs.CounterVec // backend, op
+	blobErrs    *obs.CounterVec // backend, op
 }
 
 func (m *persistMetrics) WALBytes(n int64) { m.walBytes.Set(n) }
@@ -123,6 +130,15 @@ func (m *persistMetrics) RecoveryDone(d time.Duration, recordsReplayed, truncati
 	m.truncations.Add(uint64(truncations))
 }
 func (m *persistMetrics) RetryDone(op string) { m.retries.With(op).Inc() }
+func (m *persistMetrics) BlobOp(backend, op string, n int, err error) {
+	m.blobOps.With(backend, op).Inc()
+	if n > 0 {
+		m.blobBytes.With(backend, op).Add(uint64(n))
+	}
+	if err != nil {
+		m.blobErrs.With(backend, op).Inc()
+	}
+}
 
 // cacheMetrics adapts the obs registry to the cache.Metrics interface.
 type cacheMetrics struct {
@@ -212,6 +228,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 				"WAL records replayed on top of the snapshot at the last boot."),
 			truncations: reg.NewCounter("tpmd_persist_torn_tail_truncations_total",
 				"WAL logs cut short at a torn or corrupt frame during recovery."),
+			blobOps: reg.NewCounterVec("tpmd_blob_ops_total",
+				"Blob-store operations issued by persistence, by backend kind and operation.", "backend", "op"),
+			blobBytes: reg.NewCounterVec("tpmd_blob_bytes_total",
+				"Payload bytes moved through the blob store, by backend kind and operation.", "backend", "op"),
+			blobErrs: reg.NewCounterVec("tpmd_blob_errors_total",
+				"Blob-store operations that returned an error, by backend kind and operation.", "backend", "op"),
 		},
 
 		resilience: &resilienceMetrics{
