@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint contract recovery chaos verify bench bench-all profile
+.PHONY: build vet test race lint contract recovery chaos stream verify bench bench-all profile
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,12 @@ test:
 	$(GO) test ./...
 
 # Unchecked-error lint over the durability layers, where a dropped
-# error result means silent data loss. vet plus the repo's own
-# errcheck-style checker (cmd/errlint); assign to _ to mark a
-# deliberately best-effort call.
+# error result means silent data loss, plus the server and jobs
+# packages, where a dropped error can lose an ingest batch or a job
+# journal entry. vet plus the repo's own errcheck-style checker
+# (cmd/errlint); assign to _ to mark a deliberately best-effort call.
 lint: vet
-	$(GO) run ./cmd/errlint ./internal/persist ./internal/blob
+	$(GO) run ./cmd/errlint ./internal/persist ./internal/blob ./internal/server ./internal/jobs
 
 # Race-enabled run; the cancellation/backpressure tests exercise real
 # concurrency, so this is the form CI should run.
@@ -45,13 +46,24 @@ chaos:
 	$(GO) test -race ./internal/server -run 'TestChaos' -count=1
 	$(GO) test -race ./internal/persist -run 'TestBootRemoves|TestWALWriteRetries|TestPermanentFailure|TestFsyncFailure|TestSnapshotFault' -count=1
 
+# Streaming gate: the NDJSON-ingest + continuous-job end-to-end test
+# (cumulative SSE deltas must equal a fresh batch mine byte-for-byte,
+# across a restart), the SSE lifecycle tests (disconnect leaves no
+# goroutines, slow consumers are dropped not blocked on), and job
+# durability — all under the race detector, since every one of them
+# exercises the jobs manager's concurrency.
+stream:
+	$(GO) test -race ./internal/server -run 'TestStreaming|TestSSE|TestJobDelete' -count=1
+	$(GO) test -race ./internal/jobs
+
 # The full pre-merge gate. vet and race cover every package, including
 # internal/obs and the instrumented server/scheduler paths; lint fails
-# on unchecked errors in the durability layers; contract keeps the
-# README API table in lockstep with the served routes; recovery re-runs
-# the persist crash-recovery suite by name; chaos re-rolls the
-# randomized fault schedule with a fresh seed.
-verify: build vet lint race contract recovery chaos
+# on unchecked errors in the durability, server, and jobs layers;
+# contract keeps the README API table in lockstep with the served
+# routes; recovery re-runs the persist crash-recovery suite by name;
+# chaos re-rolls the randomized fault schedule with a fresh seed;
+# stream re-runs the streaming/SSE/job-durability suite by name.
+verify: build vet lint race contract recovery chaos stream
 
 # Runs the Fig-1 workload (at GOMAXPROCS=1 and =NumCPU), the sharded
 # Fig-1a series, and the core micro-benchmarks, writing BENCH_core.json

@@ -5,9 +5,22 @@
 // Endpoints, all under /v1 (see internal/server for the full API; the
 // unversioned paths remain as deprecated aliases):
 //
-//	PUT    /v1/datasets/{name}        upload a dataset (csv/lines/json body)
-//	POST   /v1/datasets/{name}/mine   mine patterns, JSON request/response
-//	POST   /v1/datasets/{name}/rules  derive temporal association rules
+//	PUT    /v1/datasets/{name}         upload a dataset (csv/lines/json body)
+//	POST   /v1/datasets/{name}/events  stream NDJSON event intervals (batched appends)
+//	POST   /v1/datasets/{name}/mine    mine patterns; mode temporal, coincidence, or rules
+//	POST   /v1/jobs                    create a continuous-mining job
+//	GET    /v1/jobs/{id}/events        job delta stream (Server-Sent Events)
+//	GET    /v1/routes                  the machine-readable route table
+//
+// Streaming: -ingest-flush-count and -ingest-flush-age bound how many
+// events (and how long) the ingest route buffers before flushing a
+// versioned append. Continuous-mining jobs re-mine a dataset when it
+// changes (debounced by -job-debounce or the job's debounce_ms) and
+// publish pattern deltas over SSE; -sse-queue bounds each subscriber's
+// event queue (slow consumers are dropped, not allowed to stall the
+// job) and -sse-heartbeat paces keep-alive comments. Jobs and their
+// latest results are journaled with the datasets, so with persistence
+// on they survive restarts.
 //
 // The server is resource-bounded: -max-mines caps concurrent mining
 // jobs (excess requests get 429), -mine-timeout is the hard per-job
@@ -133,6 +146,11 @@ func run(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the -fault-profile randomness (deterministic per seed)")
 	shards := fs.Int("shards", 0, "mining shards per dataset (0 = GOMAXPROCS, 1 = unsharded); results are identical either way")
 	shardMinSeqs := fs.Int("shard-min-seqs", server.DefaultShardMinSeqs, "minimum average sequences per shard; caps the shard count on small datasets")
+	ingestFlushCount := fs.Int("ingest-flush-count", server.DefaultIngestFlushCount, "buffered ingest events that trigger an inline flush into a versioned append")
+	ingestFlushAge := fs.Duration("ingest-flush-age", server.DefaultIngestFlushAge, "max age of a buffered ingest event before a timer flush")
+	jobDebounce := fs.Duration("job-debounce", 0, "default debounce between a dataset change and a job re-mine (0 = built-in default; jobs may override per-spec)")
+	sseQueue := fs.Int("sse-queue", 0, "per-subscriber SSE event queue; a subscriber that falls this far behind is dropped (0 = built-in default)")
+	sseHeartbeat := fs.Duration("sse-heartbeat", server.DefaultSSEHeartbeat, "interval between SSE heartbeat comments on idle job streams")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,6 +230,11 @@ func run(args []string) error {
 		RecoveryProbeInterval:   *probeInterval,
 		Shards:                  *shards,
 		ShardMinSeqs:            *shardMinSeqs,
+		IngestFlushCount:        *ingestFlushCount,
+		IngestFlushAge:          *ingestFlushAge,
+		JobDebounce:             *jobDebounce,
+		SSESubscriberQueue:      *sseQueue,
+		SSEHeartbeat:            *sseHeartbeat,
 	})
 	// Stop the background recovery prober before the persist store is
 	// closed underneath it.

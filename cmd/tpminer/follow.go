@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tpminer/internal/jobs"
+)
+
+// followJob is the -follow mode: subscribe to a tpmd job's Server-Sent
+// Events stream and maintain the pattern set locally by applying each
+// delta, printing one line per event. Dropped connections reconnect
+// with Last-Event-ID, so the server replays exactly the missed deltas
+// (or sends one fresh snapshot when too far behind) and the local set
+// stays exact across network blips and server restarts.
+func followJob(ctx context.Context, w, errw io.Writer, url string) error {
+	var (
+		lastID   uint64
+		hasLast  bool
+		patterns []jobs.Pattern
+	)
+	for {
+		err := followOnce(ctx, w, url, &lastID, &hasLast, &patterns)
+		if ctx.Err() != nil {
+			return nil // interrupted: a clean exit, not an error
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "tpminer: follow: %v (reconnecting)\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// followOnce runs one connection: subscribe (resuming if we have a last
+// event ID), then apply events until the stream ends.
+func followOnce(ctx context.Context, w io.Writer, url string, lastID *uint64, hasLast *bool, patterns *[]jobs.Pattern) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *hasLast {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	// SSE framing: events are blank-line-separated blocks of
+	// "field: value" lines; lines starting with ':' are comments
+	// (heartbeats here).
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var id uint64
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || len(data) > 0 {
+				if err := applyEvent(w, id, event, data, lastID, hasLast, patterns); err != nil {
+					return err
+				}
+			}
+			id, event, data = 0, "", nil
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			id, _ = strconv.ParseUint(line[4:], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[6:]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended")
+}
+
+// applyEvent folds one stream event into the local pattern set and
+// prints a one-line account of it.
+func applyEvent(w io.Writer, id uint64, event string, data []byte, lastID *uint64, hasLast *bool, patterns *[]jobs.Pattern) error {
+	switch event {
+	case jobs.EventResult:
+		var res jobs.Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			return fmt.Errorf("malformed result event: %w", err)
+		}
+		*patterns = res.Patterns
+		fmt.Fprintf(w, "result\trun=%d version=%d patterns=%d\n",
+			res.RunSeq, res.Version, len(res.Patterns))
+	case jobs.EventDelta:
+		var d jobs.Delta
+		if err := json.Unmarshal(data, &d); err != nil {
+			return fmt.Errorf("malformed delta event: %w", err)
+		}
+		*patterns = jobs.Apply(*patterns, d)
+		if got := len(*patterns); got != d.Total {
+			// Checksum mismatch: drop local state and the resume cursor so
+			// the reconnect starts from a fresh snapshot.
+			*patterns = nil
+			*hasLast = false
+			return fmt.Errorf("delta run=%d: local set has %d patterns, server says %d (resyncing)",
+				d.RunSeq, got, d.Total)
+		}
+		fmt.Fprintf(w, "delta\trun=%d version=%d +%d -%d ~%d total=%d\n",
+			d.RunSeq, d.Version, len(d.Added), len(d.Removed), len(d.Changed), d.Total)
+	default:
+		return nil // unknown event type: skip, stay forward-compatible
+	}
+	*lastID = id
+	*hasLast = true
+	return nil
+}

@@ -12,6 +12,14 @@
 // per line "id: A[1,5] B[3,9]". Output is one pattern per line,
 // "support<TAB>pattern", optionally followed by the recovered Allen
 // relations (-relations).
+//
+// With -follow <url>, tpminer instead subscribes to a tpmd
+// continuous-mining job's Server-Sent Events stream, prints one line
+// per snapshot/delta, and maintains the pattern set locally —
+// reconnecting with Last-Event-ID so the set stays exact across
+// connection drops:
+//
+//	tpminer -follow http://localhost:8080/v1/jobs/ops/events
 package main
 
 import (
@@ -20,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"tpminer/internal/baseline"
 	"tpminer/internal/core"
@@ -66,9 +76,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		match     = fs.String("match", "", "skip mining; count the support of this pattern instead")
 		stats     = fs.Bool("stats", false, "print mining statistics to stderr")
 		out       = fs.String("out", "", "output file (default: stdout)")
+		follow    = fs.String("follow", "", "skip mining; follow a tpmd job's SSE delta stream at this URL (e.g. http://host:8080/v1/jobs/ops/events)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *follow != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		return followJob(ctx, stdout, stderr, *follow)
 	}
 
 	db, err := readDatabase(*in, *format)

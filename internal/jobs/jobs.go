@@ -1,0 +1,177 @@
+// Package jobs implements continuous mining: persistent jobs that
+// watch a dataset, re-mine it whenever the dataset's version changes,
+// and publish the difference between consecutive results as a stream of
+// pattern deltas.
+//
+// The package owns the job lifecycle and the delta/streaming machinery;
+// it deliberately owns nothing else. Mining goes through a Runner
+// (implemented by the server on top of its cached, sharded,
+// admission-controlled mine path, so a job run and a batch request with
+// the same spec produce byte-identical patterns — usually the very same
+// cache entry). Durability goes through a Journal (implemented by the
+// server on top of the persist WAL, so jobs and their latest results
+// survive restarts). Transport is left to the caller: subscribers get a
+// bounded channel of pre-marshaled events, which the server frames as
+// Server-Sent Events.
+//
+// # Run protocol
+//
+// Each job runs in its own goroutine. Mutations notify the manager
+// (dataset name + new version); the job debounces bursts, then re-mines
+// and diffs the new pattern set against the previous run. A run whose
+// dataset version equals the last mined version is skipped — restarts
+// and redundant notifications cost nothing. Every non-skipped run
+// increments the job's RunSeq, journals the full result
+// (commit-before-visible, like every other mutation in tpmd), and
+// publishes one delta event whose ID is the RunSeq — which is what
+// makes Last-Event-ID resume exact: a client that saw run N needs
+// precisely the deltas of runs N+1..now, and a cumulative application
+// of deltas equals the latest full result.
+//
+// # Backpressure
+//
+// Subscriber queues are bounded. A subscriber that cannot drain its
+// queue by the time the next event is published is dropped (its channel
+// closed, the drop counted) rather than allowed to stall the job or
+// grow the queue without bound; the client reconnects with
+// Last-Event-ID and the ring replays what it missed.
+package jobs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Pattern is one mined pattern as jobs track it: a stable identity key,
+// the support count the deltas diff on, and the full wire object (the
+// server's pattern JSON) carried opaquely so deltas are self-contained.
+type Pattern struct {
+	Key     string          `json:"key"`
+	Support int             `json:"support"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// SupportChange records a pattern present in consecutive runs with a
+// different support. Body is the pattern's new wire object: for mined
+// patterns the body embeds the support count, so a support change is
+// also a body change, and carrying it keeps cumulative Apply
+// byte-identical to a fresh mine.
+type SupportChange struct {
+	Key  string          `json:"key"`
+	From int             `json:"from"`
+	To   int             `json:"to"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Delta is the difference between two consecutive runs of a job — the
+// payload of one "delta" stream event. Applying Added/Removed/Changed
+// to the previous run's pattern set yields the new run's set exactly.
+type Delta struct {
+	JobID   string `json:"job_id"`
+	RunSeq  uint64 `json:"run_seq"`
+	Dataset string `json:"dataset"`
+	// Version is the dataset version this run mined.
+	Version uint64          `json:"version"`
+	Added   []Pattern       `json:"added,omitempty"`
+	Removed []string        `json:"removed,omitempty"`
+	Changed []SupportChange `json:"changed,omitempty"`
+	// Total is the pattern count after this run — a checksum for
+	// clients applying deltas cumulatively.
+	Total int `json:"total"`
+}
+
+// Result is the full pattern set of a job's latest run — the payload of
+// a "result" stream event and of GET /v1/jobs/{id}/result, and the blob
+// journaled after every run.
+type Result struct {
+	JobID    string    `json:"job_id"`
+	RunSeq   uint64    `json:"run_seq"`
+	Dataset  string    `json:"dataset"`
+	Version  uint64    `json:"version"`
+	Patterns []Pattern `json:"patterns"`
+}
+
+// Event stream types.
+const (
+	// EventDelta carries a Delta; its ID is the run's RunSeq.
+	EventDelta = "delta"
+	// EventResult carries a full Result snapshot — sent to new
+	// subscribers and to resumers whose Last-Event-ID has fallen out of
+	// the replay ring; its ID is the latest RunSeq.
+	EventResult = "result"
+)
+
+// Event is one message on a subscriber's queue, pre-marshaled so every
+// subscriber shares the same bytes.
+type Event struct {
+	ID   uint64
+	Type string // EventDelta or EventResult
+	Data []byte // JSON payload (Delta or Result)
+}
+
+// Diff computes the delta from prev to next. Patterns are matched by
+// Key; Added keeps next's (deterministic miner) order, Removed and
+// Changed follow prev's order, so the same transition always produces
+// the same delta bytes.
+func Diff(prev, next []Pattern) (added []Pattern, removed []string, changed []SupportChange) {
+	prevByKey := make(map[string]Pattern, len(prev))
+	for _, p := range prev {
+		prevByKey[p.Key] = p
+	}
+	nextKeys := make(map[string]struct{}, len(next))
+	for _, p := range next {
+		nextKeys[p.Key] = struct{}{}
+		old, ok := prevByKey[p.Key]
+		switch {
+		case !ok:
+			added = append(added, p)
+		case old.Support != p.Support:
+			changed = append(changed, SupportChange{Key: p.Key, From: old.Support, To: p.Support, Body: p.Body})
+		}
+	}
+	for _, p := range prev {
+		if _, ok := nextKeys[p.Key]; !ok {
+			removed = append(removed, p.Key)
+		}
+	}
+	return added, removed, changed
+}
+
+// Apply folds a delta into a pattern set, returning the next run's set
+// in the miner's canonical order (sorted by Key after modification —
+// callers comparing against a fresh mine should sort both sides, or
+// compare as sets). It is the client-side inverse of Diff, used by the
+// CLI follower and the end-to-end tests to verify that cumulative
+// deltas reconstruct the latest result exactly.
+func Apply(prev []Pattern, d Delta) []Pattern {
+	out := make([]Pattern, 0, len(prev)+len(d.Added))
+	removed := make(map[string]struct{}, len(d.Removed))
+	for _, k := range d.Removed {
+		removed[k] = struct{}{}
+	}
+	changed := make(map[string]SupportChange, len(d.Changed))
+	for _, c := range d.Changed {
+		changed[c.Key] = c
+	}
+	for _, p := range prev {
+		if _, ok := removed[p.Key]; ok {
+			continue
+		}
+		if c, ok := changed[p.Key]; ok {
+			p.Support = c.To
+			if c.Body != nil {
+				p.Body = c.Body
+			}
+		}
+		out = append(out, p)
+	}
+	out = append(out, d.Added...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SortPatterns orders a pattern set canonically (by Key) for set
+// comparison against an Apply result.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+}

@@ -72,13 +72,13 @@ func InspectStore(bs blob.Store, label string, w io.Writer) error {
 			p.printf("snapshot %s  UNREADABLE: %v\n", name, err)
 			continue
 		}
-		state, verSeq, err := decodeSnapshotFile(buf)
+		state, jobs, verSeq, err := decodeSnapshotFile(buf)
 		if err != nil {
 			p.printf("snapshot %s  %d bytes  INVALID: %v\n", name, len(buf), err)
 			continue
 		}
-		p.printf("snapshot %s  %d bytes  version=%d datasets=%d\n",
-			name, len(buf), verSeq, len(state))
+		p.printf("snapshot %s  %d bytes  version=%d datasets=%d jobs=%d\n",
+			name, len(buf), verSeq, len(state), len(jobs))
 		names := make([]string, 0, len(state))
 		for n := range state {
 			names = append(names, n)
@@ -88,6 +88,16 @@ func InspectStore(bs blob.Store, label string, w io.Writer) error {
 			ds := state[n]
 			p.printf("  dataset %-20q version=%-6d sequences=%-6d intervals=%d\n",
 				n, ds.Version, len(ds.DB.Sequences), ds.DB.NumIntervals())
+		}
+		ids := make([]string, 0, len(jobs))
+		for id := range jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			js := jobs[id]
+			p.printf("  job     %-20q version=%-6d spec=%dB result=%dB result_version=%d\n",
+				id, js.SpecVersion, len(js.Spec), len(js.Result), js.ResultVersion)
 		}
 	}
 
@@ -120,8 +130,11 @@ func InspectStore(bs blob.Store, label string, w io.Writer) error {
 					off, derr, len(data)-off)
 				break
 			}
-			switch rec.typ {
-			case recDelete:
+			switch {
+			case isJobType(rec.typ):
+				p.printf("  off=%-10d %-10s version=%-6d job=%q blob=%dB payload=%dB\n",
+					off, rec.typeName(), rec.version, rec.name, len(rec.blob), len(payload))
+			case rec.typ == recDelete:
 				p.printf("  off=%-10d %-6s version=%-6d dataset=%q payload=%dB\n",
 					off, rec.typeName(), rec.version, rec.name, len(payload))
 			default:

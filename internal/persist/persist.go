@@ -1,9 +1,9 @@
 // Package persist makes tpmd's dataset store durable: an append-only
 // write-ahead log of framed, CRC32C-checksummed mutation records
-// (put/append/delete, each carrying the dataset name and the store
-// version it installed), periodic full-state snapshots, and boot-time
-// recovery that loads the newest valid snapshot and replays the WAL
-// tail.
+// (put/append/delete for datasets, job-put/job-delete/job-result for
+// continuous-mining jobs, each carrying the name and the store version
+// it installed), periodic full-state snapshots, and boot-time recovery
+// that loads the newest valid snapshot and replays the WAL tail.
 //
 // All I/O goes through a blob.Store (internal/blob): WAL segments are
 // append-only blobs, snapshots are atomic-Put blobs, and the backend is
@@ -144,6 +144,23 @@ type DatasetState struct {
 	Version uint64
 }
 
+// JobState is one recovered continuous-mining job: the opaque spec
+// blob journaled at creation and, when the job has completed at least
+// one run, the opaque blob of its latest result. Persist never looks
+// inside either blob — the server owns their schema (JSON job specs and
+// result summaries) — it only guarantees they survive restarts.
+type JobState struct {
+	// Spec is the job definition, journaled by LogJobPut; SpecVersion is
+	// the store version that installed it.
+	Spec        []byte
+	SpecVersion uint64
+	// Result is the latest run's stored summary (nil until the first
+	// LogJobResult); ResultVersion is the store version that installed
+	// it.
+	Result        []byte
+	ResultVersion uint64
+}
+
 // RecoveryStats describes what Open found in the store.
 type RecoveryStats struct {
 	// Duration is the wall time of snapshot load + WAL replay.
@@ -216,6 +233,7 @@ type Store struct {
 	dirty     bool  // bytes written since the last fsync
 	failed    error // sticky failure: set when the WAL is wedged or the store closed
 	state     map[string]DatasetState
+	jobs      map[string]JobState
 	verSeq    uint64
 	met       Metrics
 	recov     RecoveryStats
@@ -264,6 +282,7 @@ func OpenStore(bs blob.Store, label string, opt Options) (*Store, error) {
 		inst:      inst,
 		compactAt: opt.WALMaxBytes,
 		state:     make(map[string]DatasetState),
+		jobs:      make(map[string]JobState),
 	}
 	start := time.Now()
 	if err := s.recover(); err != nil {
@@ -274,6 +293,7 @@ func OpenStore(bs blob.Store, label string, opt Options) (*Store, error) {
 		"store", label,
 		"backend", bs.Backend(),
 		"datasets", len(s.state),
+		"jobs", len(s.jobs),
 		"version", s.verSeq,
 		"snapshot_loaded", s.recov.SnapshotLoaded,
 		"records_replayed", s.recov.RecordsReplayed,
@@ -298,6 +318,19 @@ func (s *Store) Recovered() (map[string]DatasetState, uint64) {
 		out[name] = ds
 	}
 	return out, s.verSeq
+}
+
+// RecoveredJobs returns the continuous-mining job table restored by
+// Open. The caller may take ownership of the map and the blobs inside
+// (persist keeps its own references but never mutates the bytes).
+func (s *Store) RecoveredJobs() map[string]JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]JobState, len(s.jobs))
+	for id, js := range s.jobs {
+		out[id] = js
+	}
+	return out
 }
 
 // RecoveryStats returns what Open found in the store.
@@ -366,6 +399,62 @@ func (s *Store) LogDelete(name string, version uint64) error {
 		return err
 	}
 	delete(s.state, name)
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// LogJobPut commits a continuous-mining job creation. spec is opaque to
+// persist (the server journals its JSON job spec); version must come
+// from the same store-wide counter as dataset mutations, or the
+// replay-skip invariant breaks. A re-put of an existing id replaces the
+// job and drops its stored result.
+func (s *Store) LogJobPut(id string, version uint64, spec []byte) error {
+	payload := encodeJobRecord(recJobPut, version, id, spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	s.jobs[id] = JobState{Spec: spec, SpecVersion: version}
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// LogJobDelete commits a job removal. As with dataset deletes, the
+// version still advances so the counter recovers correctly even when
+// this is the last record before a crash.
+func (s *Store) LogJobDelete(id string, version uint64) error {
+	payload := encodeJobRecord(recJobDelete, version, id, nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	delete(s.jobs, id)
+	s.verSeq = version
+	s.maybeCompactLocked()
+	return nil
+}
+
+// LogJobResult commits the latest result summary of a job run. Only the
+// newest result is retained — each record supersedes the previous one
+// in the mirror, and compaction folds the chain into one snapshot
+// entry. A result for an unknown job is journaled but not mirrored
+// (matching applyRecord's treatment on replay, where the job's put may
+// have been lost to a truncation).
+func (s *Store) LogJobResult(id string, version uint64, result []byte) error {
+	payload := encodeJobRecord(recJobResult, version, id, result)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	if js, ok := s.jobs[id]; ok {
+		js.Result, js.ResultVersion = result, version
+		s.jobs[id] = js
+	}
 	s.verSeq = version
 	s.maybeCompactLocked()
 	return nil
@@ -547,7 +636,7 @@ func (s *Store) snapshotLocked(rotate bool) error {
 	// being durable. Transient Put failures retry; the atomic-Put
 	// contract guarantees each failed attempt leaves nothing behind.
 	err := s.retryLocked(resilience.OpSnapshotWrite, func() error {
-		return s.bs.Put(snapshotName(s.verSeq), encodeSnapshotFile(s.state, s.verSeq))
+		return s.bs.Put(snapshotName(s.verSeq), encodeSnapshotFile(s.state, s.jobs, s.verSeq))
 	})
 	if err != nil {
 		return fmt.Errorf("persist: snapshot: %w", err)
@@ -782,12 +871,12 @@ func (s *Store) recover() error {
 			s.logger.Warn("persist: skipping unreadable snapshot", "file", sn.name, "error", err)
 			continue
 		}
-		state, verSeq, err := decodeSnapshotFile(buf)
+		state, jobs, verSeq, err := decodeSnapshotFile(buf)
 		if err != nil {
 			s.logger.Warn("persist: skipping invalid snapshot", "file", sn.name, "error", err)
 			continue
 		}
-		s.state, s.verSeq = state, verSeq
+		s.state, s.jobs, s.verSeq = state, jobs, verSeq
 		s.recov.SnapshotLoaded = true
 		s.recov.SnapshotVersion = verSeq
 		break
@@ -897,5 +986,14 @@ func (s *Store) applyRecord(rec record) {
 		s.applyAppendLocked(rec.name, rec.version, rec.db)
 	case recDelete:
 		delete(s.state, rec.name)
+	case recJobPut:
+		s.jobs[rec.name] = JobState{Spec: rec.blob, SpecVersion: rec.version}
+	case recJobDelete:
+		delete(s.jobs, rec.name)
+	case recJobResult:
+		if js, ok := s.jobs[rec.name]; ok {
+			js.Result, js.ResultVersion = rec.blob, rec.version
+			s.jobs[rec.name] = js
+		}
 	}
 }

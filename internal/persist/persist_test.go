@@ -93,8 +93,12 @@ func TestSnapshotEncodingRoundTrip(t *testing.T) {
 		"a": {DB: testDB(1, 4, 6), Version: 3},
 		"b": {DB: testDB(2, 1, 1), Version: 9},
 	}
-	payload := encodeSnapshot(state, 42)
-	got, verSeq, err := decodeSnapshot(payload)
+	jobs := map[string]JobState{
+		"j1": {Spec: []byte(`{"dataset":"a"}`), SpecVersion: 5, Result: []byte(`{"runs":3}`), ResultVersion: 8},
+		"j2": {Spec: []byte(`{"dataset":"b"}`), SpecVersion: 7},
+	}
+	payload := encodeSnapshot(state, jobs, 42)
+	got, gotJobs, verSeq, err := decodeSnapshot(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,6 +109,92 @@ func TestSnapshotEncodingRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got[name].DB.Sequences, w.DB.Sequences) || got[name].Version != w.Version {
 			t.Errorf("dataset %q differs after snapshot round trip", name)
 		}
+	}
+	if !reflect.DeepEqual(gotJobs, jobs) {
+		t.Errorf("jobs differ after snapshot round trip: got %+v want %+v", gotJobs, jobs)
+	}
+}
+
+// TestSnapshotBackwardCompatible: a pre-jobs snapshot payload (ending
+// at the last dataset) still decodes, with an empty job table.
+func TestSnapshotBackwardCompatible(t *testing.T) {
+	state := map[string]DatasetState{"a": {DB: testDB(1, 2, 3), Version: 4}}
+	payload := encodeSnapshot(state, nil, 11)
+	// Strip the trailing job section (a single uvarint 0 for zero jobs)
+	// to reconstruct the old format.
+	old := payload[:len(payload)-1]
+	got, jobs, verSeq, err := decodeSnapshot(old)
+	if err != nil {
+		t.Fatalf("old-format snapshot failed to decode: %v", err)
+	}
+	if verSeq != 11 || len(got) != 1 || len(jobs) != 0 {
+		t.Fatalf("decoded verSeq=%d datasets=%d jobs=%d", verSeq, len(got), len(jobs))
+	}
+}
+
+// TestJobJournalRoundTrip: job records survive both recovery paths —
+// WAL replay (dirty restart) and the final snapshot (clean restart) —
+// with the latest result superseding earlier ones and deletes honored.
+func TestJobJournalRoundTrip(t *testing.T) {
+	for _, clean := range []bool{false, true} {
+		name := "wal-replay"
+		if clean {
+			name = "snapshot"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			if err := s.LogPut("d", 1, testDB(1, 3, 2)); err != nil {
+				t.Fatal(err)
+			}
+			spec := []byte(`{"dataset":"d","mine":{"min_count":1}}`)
+			if err := s.LogJobPut("watch-d", 2, spec); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LogJobResult("watch-d", 3, []byte(`{"run_seq":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LogJobResult("watch-d", 4, []byte(`{"run_seq":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LogJobPut("doomed", 5, []byte(`{"dataset":"d"}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LogJobDelete("doomed", 6); err != nil {
+				t.Fatal(err)
+			}
+			if clean {
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Dirty restart: reopen over the live WAL without Close,
+				// forcing full replay.
+				if err := s.wal.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s2 := mustOpen(t, dir, Options{})
+			defer func() {
+				if err := s2.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			jobs := s2.RecoveredJobs()
+			if len(jobs) != 1 {
+				t.Fatalf("recovered %d jobs, want 1 (%+v)", len(jobs), jobs)
+			}
+			js := jobs["watch-d"]
+			if string(js.Spec) != string(spec) || js.SpecVersion != 2 {
+				t.Errorf("spec = %q v%d, want %q v2", js.Spec, js.SpecVersion, spec)
+			}
+			if string(js.Result) != `{"run_seq":2}` || js.ResultVersion != 4 {
+				t.Errorf("result = %q v%d, want latest result v4", js.Result, js.ResultVersion)
+			}
+			if _, ver := s2.Recovered(); ver != 6 {
+				t.Errorf("verSeq = %d, want 6 (job records must advance the counter)", ver)
+			}
+		})
 	}
 }
 

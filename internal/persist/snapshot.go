@@ -27,6 +27,17 @@ import (
 //	uvarint  dataset count
 //	per dataset: uvarint name length + name, uvarint version,
 //	             database encoding (see wal.go)
+//	uvarint  job count (absent in pre-jobs snapshots; a payload that
+//	         ends after the datasets decodes as zero jobs)
+//	per job: uvarint id length + id,
+//	         uvarint spec version,   uvarint spec length + spec bytes,
+//	         uvarint result version, uvarint result length + result bytes
+//
+// The job section was appended after the dataset table, so old
+// snapshots (which ended at the last dataset) still decode — the
+// decoder treats end-of-payload at that point as "no jobs" instead of
+// an error. Spec and result bytes are opaque to persist, exactly as in
+// the WAL job records.
 //
 // Snapshots commit through blob.Store.Put, whose atomic-commit contract
 // (temp + fsync + rename on file://) guarantees a crash mid-snapshot
@@ -56,7 +67,7 @@ func parseSeqName(name, prefix, ext string) (uint64, bool) {
 
 // encodeSnapshot serializes the full store state (the payload only; see
 // encodeSnapshotFile for the framed on-disk form).
-func encodeSnapshot(state map[string]DatasetState, verSeq uint64) []byte {
+func encodeSnapshot(state map[string]DatasetState, jobs map[string]JobState, verSeq uint64) []byte {
 	names := make([]string, 0, len(state))
 	for name := range state {
 		names = append(names, name)
@@ -71,49 +82,98 @@ func encodeSnapshot(state map[string]DatasetState, verSeq uint64) []byte {
 		buf = binary.AppendUvarint(buf, ds.Version)
 		buf = appendDatabase(buf, ds.DB)
 	}
+	ids := make([]string, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		js := jobs[id]
+		buf = appendString(buf, id)
+		buf = binary.AppendUvarint(buf, js.SpecVersion)
+		buf = binary.AppendUvarint(buf, uint64(len(js.Spec)))
+		buf = append(buf, js.Spec...)
+		buf = binary.AppendUvarint(buf, js.ResultVersion)
+		buf = binary.AppendUvarint(buf, uint64(len(js.Result)))
+		buf = append(buf, js.Result...)
+	}
 	return buf
 }
 
 // decodeSnapshot parses a snapshot payload.
-func decodeSnapshot(payload []byte) (map[string]DatasetState, uint64, error) {
+func decodeSnapshot(payload []byte) (map[string]DatasetState, map[string]JobState, uint64, error) {
 	c := &byteCursor{buf: payload}
 	verSeq, err := c.uvarint()
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	n, err := c.uvarint()
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if uint64(len(payload)-c.off) < n {
-		return nil, 0, fmt.Errorf("dataset count %d past payload end", n)
+		return nil, nil, 0, fmt.Errorf("dataset count %d past payload end", n)
 	}
 	state := make(map[string]DatasetState, n)
 	for i := uint64(0); i < n; i++ {
 		name, err := c.string()
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		ver, err := c.uvarint()
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		db, err := c.database()
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		state[name] = DatasetState{DB: db, Version: ver}
 	}
-	if c.off != len(payload) {
-		return nil, 0, fmt.Errorf("%d trailing bytes after snapshot", len(payload)-c.off)
+	jobs := make(map[string]JobState)
+	if c.off < len(payload) { // pre-jobs snapshots end here
+		nj, err := c.uvarint()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if uint64(len(payload)-c.off) < nj {
+			return nil, nil, 0, fmt.Errorf("job count %d past payload end", nj)
+		}
+		for i := uint64(0); i < nj; i++ {
+			id, err := c.string()
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			var js JobState
+			if js.SpecVersion, err = c.uvarint(); err != nil {
+				return nil, nil, 0, err
+			}
+			if js.Spec, err = c.bytes(); err != nil {
+				return nil, nil, 0, err
+			}
+			if js.ResultVersion, err = c.uvarint(); err != nil {
+				return nil, nil, 0, err
+			}
+			if js.Result, err = c.bytes(); err != nil {
+				return nil, nil, 0, err
+			}
+			if len(js.Result) == 0 {
+				js.Result = nil
+			}
+			jobs[id] = js
+		}
 	}
-	return state, verSeq, nil
+	if c.off != len(payload) {
+		return nil, nil, 0, fmt.Errorf("%d trailing bytes after snapshot", len(payload)-c.off)
+	}
+	return state, jobs, verSeq, nil
 }
 
 // encodeSnapshotFile frames the encoded state with the magic, length,
 // and CRC header — the exact bytes a snapshot blob holds.
-func encodeSnapshotFile(state map[string]DatasetState, verSeq uint64) []byte {
-	payload := encodeSnapshot(state, verSeq)
+func encodeSnapshotFile(state map[string]DatasetState, jobs map[string]JobState, verSeq uint64) []byte {
+	payload := encodeSnapshot(state, jobs, verSeq)
 	buf := make([]byte, snapshotHeaderLen, snapshotHeaderLen+len(payload))
 	copy(buf[0:8], snapshotMagic[:])
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
@@ -123,20 +183,20 @@ func encodeSnapshotFile(state map[string]DatasetState, verSeq uint64) []byte {
 
 // decodeSnapshotFile validates a snapshot blob's framing and decodes
 // the state it holds.
-func decodeSnapshotFile(buf []byte) (map[string]DatasetState, uint64, error) {
+func decodeSnapshotFile(buf []byte) (map[string]DatasetState, map[string]JobState, uint64, error) {
 	if len(buf) < snapshotHeaderLen {
-		return nil, 0, fmt.Errorf("truncated snapshot: %d bytes", len(buf))
+		return nil, nil, 0, fmt.Errorf("truncated snapshot: %d bytes", len(buf))
 	}
 	if [8]byte(buf[0:8]) != snapshotMagic {
-		return nil, 0, fmt.Errorf("bad snapshot magic %q", buf[0:8])
+		return nil, nil, 0, fmt.Errorf("bad snapshot magic %q", buf[0:8])
 	}
 	n := binary.LittleEndian.Uint64(buf[8:16])
 	if n != uint64(len(buf)-snapshotHeaderLen) {
-		return nil, 0, fmt.Errorf("snapshot length mismatch: header says %d, file holds %d", n, len(buf)-snapshotHeaderLen)
+		return nil, nil, 0, fmt.Errorf("snapshot length mismatch: header says %d, file holds %d", n, len(buf)-snapshotHeaderLen)
 	}
 	payload := buf[snapshotHeaderLen:]
 	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(buf[16:20]); got != want {
-		return nil, 0, fmt.Errorf("snapshot CRC mismatch (stored %08x, computed %08x)", want, got)
+		return nil, nil, 0, fmt.Errorf("snapshot CRC mismatch (stored %08x, computed %08x)", want, got)
 	}
 	return decodeSnapshot(payload)
 }
@@ -158,7 +218,7 @@ func writeSnapshotFile(dir string, state map[string]DatasetState, verSeq uint64,
 		target = newFaultStore(bs, inj)
 	}
 	name := snapshotName(verSeq)
-	if err := target.Put(name, encodeSnapshotFile(state, verSeq)); err != nil {
+	if err := target.Put(name, encodeSnapshotFile(state, nil, verSeq)); err != nil {
 		return "", err
 	}
 	if err := target.Sync(); err != nil {

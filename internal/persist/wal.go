@@ -18,10 +18,22 @@ import (
 //
 // The payload is:
 //
-//	byte     record type: 1 put, 2 append, 3 delete
+//	byte     record type: 1 put, 2 append, 3 delete,
+//	         4 job-put, 5 job-delete, 6 job-result
 //	uvarint  store version the record installed
-//	uvarint  name length, then the dataset name bytes
+//	uvarint  name length, then the dataset (or job id) bytes
 //	—        for put/append: the database encoding below
+//	—        for job-put/job-result: uvarint blob length, then the blob
+//
+// Job records (types 4–6) carry the continuous-mining job table: the
+// name field holds the job id and the trailing blob is an opaque
+// payload owned by the layer above (the server journals JSON job specs
+// and latest-result summaries). Keeping the payload opaque means the
+// WAL format is closed under job-schema evolution — persist never
+// needs a version bump when the spec grows a field. Job records draw
+// their versions from the same store-wide counter as dataset records,
+// which is what keeps the replay-skip invariant (`version <=
+// SnapshotVersion` ⇒ already in the snapshot) sound across both kinds.
 //
 // A database is encoded as:
 //
@@ -36,9 +48,12 @@ import (
 // frame as either a torn tail (not enough bytes for the declared
 // length) or corruption (CRC or decode failure).
 const (
-	recPut    byte = 1
-	recAppend byte = 2
-	recDelete byte = 3
+	recPut       byte = 1
+	recAppend    byte = 2
+	recDelete    byte = 3
+	recJobPut    byte = 4
+	recJobDelete byte = 5
+	recJobResult byte = 6
 
 	frameHeaderLen = 8
 
@@ -49,12 +64,14 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// record is one decoded WAL record.
+// record is one decoded WAL record. name holds the dataset name for
+// dataset records and the job id for job records.
 type record struct {
 	typ     byte
 	version uint64
 	name    string
-	db      *interval.Database // nil for delete
+	db      *interval.Database // put/append only
+	blob    []byte             // job-put/job-result only
 }
 
 func (r record) typeName() string {
@@ -65,8 +82,19 @@ func (r record) typeName() string {
 		return "append"
 	case recDelete:
 		return "delete"
+	case recJobPut:
+		return "job-put"
+	case recJobDelete:
+		return "job-delete"
+	case recJobResult:
+		return "job-result"
 	}
 	return fmt.Sprintf("unknown(%d)", r.typ)
+}
+
+// isJobType reports whether typ is one of the job record types.
+func isJobType(typ byte) bool {
+	return typ == recJobPut || typ == recJobDelete || typ == recJobResult
 }
 
 // frameErr classifies why a frame failed to parse. torn means the
@@ -154,6 +182,20 @@ func encodeRecord(typ byte, version uint64, name string, db *interval.Database) 
 	return buf
 }
 
+// encodeJobRecord builds the payload of one job WAL record. blob is the
+// opaque spec/result payload; nil for job-delete records.
+func encodeJobRecord(typ byte, version uint64, id string, blob []byte) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(id)+len(blob))
+	buf = append(buf, typ)
+	buf = binary.AppendUvarint(buf, version)
+	buf = appendString(buf, id)
+	if typ != recJobDelete {
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf
+}
+
 // ------------------------------------------------------------- decoding
 
 // byteCursor walks an encoded payload with bounds checking.
@@ -200,6 +242,22 @@ func (c *byteCursor) string() (string, error) {
 	s := string(c.buf[c.off : c.off+int(n)])
 	c.off += int(n)
 	return s, nil
+}
+
+// bytes reads a uvarint-prefixed byte blob, copying it out of the
+// frame buffer so the record outlives the read buffer.
+func (c *byteCursor) bytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(c.buf)-c.off) < n {
+		return nil, errors.New("blob length past payload end")
+	}
+	b := make([]byte, n)
+	copy(b, c.buf[c.off:c.off+int(n)])
+	c.off += int(n)
+	return b, nil
 }
 
 func (c *byteCursor) database() (*interval.Database, error) {
@@ -257,7 +315,7 @@ func decodeRecord(payload []byte) (record, error) {
 	if err != nil {
 		return record{}, err
 	}
-	if typ != recPut && typ != recAppend && typ != recDelete {
+	if typ < recPut || typ > recJobResult {
 		return record{}, fmt.Errorf("unknown record type %d", typ)
 	}
 	version, err := c.uvarint()
@@ -269,8 +327,13 @@ func decodeRecord(payload []byte) (record, error) {
 		return record{}, err
 	}
 	rec := record{typ: typ, version: version, name: name}
-	if typ != recDelete {
+	switch typ {
+	case recPut, recAppend:
 		if rec.db, err = c.database(); err != nil {
+			return record{}, err
+		}
+	case recJobPut, recJobResult:
+		if rec.blob, err = c.bytes(); err != nil {
 			return record{}, err
 		}
 	}

@@ -1,61 +1,124 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
+// fetchRouteTable pulls the machine-readable route table from a live
+// server — the same JSON clients use for discovery — so the contract
+// tests assert against what is actually served, not a parallel list.
+func fetchRouteTable(t *testing.T, baseURL string) []RouteInfo {
+	t.Helper()
+	resp, body := do(t, "GET", baseURL+"/v1/routes", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/routes: %d %q", resp.StatusCode, body)
+	}
+	var payload struct {
+		Routes []RouteInfo `json:"routes"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("GET /v1/routes: malformed JSON: %v", err)
+	}
+	if len(payload.Routes) == 0 {
+		t.Fatal("GET /v1/routes returned no routes")
+	}
+	return payload.Routes
+}
+
 // TestRoutesDocumentedInREADME is the route contract: every route the
-// server serves must appear, verbatim as "METHOD /v1/path", in the
-// README's API reference table. Adding a route without documenting it
-// fails `make verify`.
+// server serves — as listed by its own GET /v1/routes endpoint — must
+// appear, verbatim as "METHOD /v1/path", in the README's API reference
+// table. Adding a route without documenting it fails `make verify`.
 func TestRoutesDocumentedInREADME(t *testing.T) {
 	readme, err := os.ReadFile("../../README.md")
 	if err != nil {
 		t.Fatalf("README.md not readable from the package directory: %v", err)
 	}
 	doc := string(readme)
-	routes := Routes()
-	if len(routes) == 0 {
-		t.Fatal("server exposes no routes")
-	}
-	for _, route := range routes {
+	ts := newTestServer(t)
+	for _, rt := range fetchRouteTable(t, ts.URL) {
+		route := rt.Method + " /v1" + rt.Pattern
 		if !strings.Contains(doc, route) {
 			t.Errorf("served route %q is missing from the README API reference table", route)
+		}
+		if rt.Summary == "" {
+			t.Errorf("route %q has no summary in the route table", route)
 		}
 	}
 }
 
-// TestRouteTableIsServed proves Routes() is not aspirational: every
-// listed route resolves to a handler on both the /v1 and legacy
-// surfaces (no 404/405 from the mux), and unlisted paths do 404.
+// TestRouteTableMatchesServer: the served table and the compiled-in one
+// agree, and Routes() renders every entry.
+func TestRouteTableMatchesServer(t *testing.T) {
+	ts := newTestServer(t)
+	served := fetchRouteTable(t, ts.URL)
+	compiled := RouteTable()
+	if len(served) != len(compiled) {
+		t.Fatalf("served table has %d routes, RouteTable() has %d", len(served), len(compiled))
+	}
+	for i, rt := range compiled {
+		if served[i] != rt {
+			t.Errorf("route %d: served %+v != compiled %+v", i, served[i], rt)
+		}
+	}
+	routes := Routes()
+	if len(routes) != len(compiled) {
+		t.Fatalf("Routes() has %d entries, RouteTable() has %d", len(routes), len(compiled))
+	}
+	for i, rt := range compiled {
+		want := rt.Method + " /v1" + rt.Pattern
+		if routes[i] != want {
+			t.Errorf("Routes()[%d] = %q, want %q", i, routes[i], want)
+		}
+	}
+}
+
+// TestRouteTableIsServed proves the route table is not aspirational:
+// every listed route resolves to a handler (no 404/405 from the mux) on
+// /v1, and — unless flagged v1-only — on the legacy surface too; and
+// unlisted paths still 404.
 func TestRouteTableIsServed(t *testing.T) {
 	ts := newTestServer(t)
 
-	for _, route := range Routes() {
-		method, pattern, ok := strings.Cut(route, " ")
-		if !ok {
-			t.Fatalf("malformed route %q", route)
+	for _, rt := range fetchRouteTable(t, ts.URL) {
+		path := strings.ReplaceAll(rt.Pattern, "{name}", "x")
+		path = strings.ReplaceAll(path, "{id}", "j1")
+		surfaces := []string{"/v1" + path}
+		if !rt.V1Only {
+			surfaces = append(surfaces, path)
 		}
-		path := strings.ReplaceAll(pattern, "{name}", "x")
-		for _, p := range []string{path, strings.TrimPrefix(path, "/v1")} {
-			// Recreate the dataset each time so earlier DELETE iterations
-			// cannot turn a served route into a spurious 404.
+		for _, p := range surfaces {
+			// Recreate the dataset and job each time so earlier DELETE
+			// iterations cannot turn a served route into a spurious 404.
 			do(t, "PUT", ts.URL+"/v1/datasets/x", "text/csv", csvBody)
+			do(t, "POST", ts.URL+"/v1/jobs", "application/json", `{"id":"j1","dataset":"x"}`)
 			body, ctype := "", ""
-			if method == "POST" || method == "PUT" {
+			if rt.Method == "POST" || rt.Method == "PUT" {
 				body, ctype = "s9: A[0,4]\n", "text/plain"
-				if strings.HasSuffix(p, "/mine") || strings.HasSuffix(p, "/rules") {
+				switch {
+				case strings.HasSuffix(p, "/mine") || strings.HasSuffix(p, "/rules"):
 					body, ctype = `{"min_count":2}`, "application/json"
+				case strings.HasSuffix(p, "/events"):
+					body, ctype = `{"seq":"s9","symbol":"A","start":0,"end":4}`+"\n", "application/x-ndjson"
+				case p == "/v1/jobs":
+					body, ctype = `{"id":"j2","dataset":"x"}`, "application/json"
 				}
 			}
-			resp, respBody := do(t, method, ts.URL+p, ctype, body)
-			if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
-				t.Errorf("listed route %s %s not served: %d %q", method, p, resp.StatusCode, respBody)
+			status, respBody := doRoute(t, rt.Method, ts.URL+p, ctype, body)
+			// A handler's own 404 (uniform error envelope) still proves the
+			// route resolved; the mux's plain-text 404 means it did not.
+			handlerNotFound := status == http.StatusNotFound && strings.Contains(respBody, `"error"`)
+			if (status == http.StatusNotFound && !handlerNotFound) || status == http.StatusMethodNotAllowed {
+				t.Errorf("listed route %s %s not served: %d %q", rt.Method, p, status, respBody)
 			}
+			do(t, "DELETE", ts.URL+"/v1/jobs/j2", "", "")
 		}
 	}
 
@@ -65,12 +128,40 @@ func TestRouteTableIsServed(t *testing.T) {
 	}
 }
 
+// doRoute issues one request but, unlike do, never blocks on an
+// unbounded body: the SSE events route streams until the client
+// disconnects, so only its status matters here.
+func doRoute(t *testing.T, method, url, contentType, body string) (int, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return resp.StatusCode, "(event stream)"
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	return resp.StatusCode, string(buf[:n])
+}
+
 // TestDeprecatedAliasForEveryRoute: the mux registers a legacy alias for
-// each /v1 route and the alias flags itself deprecated.
+// each non-v1-only route and the alias flags itself deprecated; v1-only
+// routes have no legacy alias at all.
 func TestDeprecatedAliasForEveryRoute(t *testing.T) {
 	s := NewWithConfig(nil, Config{MaxConcurrentMines: 4})
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() { ts.Close(); s.Close() })
 
 	resp, _ := do(t, "GET", ts.URL+"/healthz", "", "")
 	if resp.Header.Get("Deprecation") != "true" {
@@ -79,5 +170,18 @@ func TestDeprecatedAliasForEveryRoute(t *testing.T) {
 	resp, _ = do(t, "GET", ts.URL+"/v1/healthz", "", "")
 	if resp.Header.Get("Deprecation") != "" {
 		t.Error("/v1/healthz marked deprecated")
+	}
+	// v1-only routes must not leak onto the legacy surface.
+	resp, _ = do(t, "GET", ts.URL+"/routes", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("v1-only /routes served on the legacy surface: %d", resp.StatusCode)
+	}
+	// A deprecated route with a successor advertises it via Link.
+	resp, _ = do(t, "POST", ts.URL+"/v1/datasets/x/rules", "application/json", `{}`)
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("/v1/datasets/{name}/rules not marked deprecated")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "successor-version") {
+		t.Errorf("deprecated rules route has no successor Link header: %q", link)
 	}
 }

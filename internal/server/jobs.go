@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tpminer/internal/api"
+	"tpminer/internal/cache"
+	"tpminer/internal/jobs"
+)
+
+// This file is the server side of continuous mining: the /v1/jobs
+// resource handlers, the SSE delta stream, and the two adapters that
+// plug the jobs manager into the server — jobRunner (mining through the
+// cached/sharded mine path, so a job run and a batch request with the
+// same spec share cache entries and produce identical patterns) and
+// jobJournal (durability through the store's journal, so jobs and their
+// latest results survive restarts).
+
+// jobRunner implements jobs.Runner on the server's mine path.
+type jobRunner struct{ s *Server }
+
+func (jr jobRunner) RunJob(ctx context.Context, spec api.JobSpec) (jobs.RunOutput, error) {
+	s := jr.s
+	db, part, ver, ok := s.store.snapshot(spec.Dataset)
+	if !ok {
+		return jobs.RunOutput{}, jobs.ErrDatasetMissing
+	}
+	mode := spec.Mine.ResolvedMode()
+	// Identical key to a batch mine with this spec: a job run right after
+	// a client's own mine (or vice versa) is a cache hit, not a re-mine.
+	key := cache.Key{Dataset: spec.Dataset, Version: ver, Options: spec.Mine.ResultOptions()}
+	wdb, wpart := s.windowed(db, part, spec.Mine.Window)
+	compute := func() (any, int64, bool, error) {
+		resp, complete, err := s.runMine(ctx, wdb, wpart, spec.Dataset, mode, spec.Mine)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return resp, approxJSONSize(resp), complete, nil
+	}
+	var (
+		v   any
+		err error
+	)
+	if s.results != nil {
+		v, _, err = s.results.Do(ctx, key, compute)
+	} else {
+		v, _, _, err = compute()
+	}
+	if err != nil {
+		return jobs.RunOutput{}, err
+	}
+	resp := v.(*MineResponse)
+	out := jobs.RunOutput{Version: ver, Patterns: make([]jobs.Pattern, 0, len(resp.Patterns))}
+	for _, mp := range resp.Patterns {
+		body, merr := json.Marshal(mp)
+		if merr != nil { // unreachable: patterns are plain data
+			return jobs.RunOutput{}, merr
+		}
+		out.Patterns = append(out.Patterns, jobs.Pattern{
+			Key:     minedPatternKey(mp),
+			Support: mp.Support,
+			Body:    body,
+		})
+	}
+	return out, nil
+}
+
+// minedPatternKey is the stable identity of a mined pattern across
+// runs: its rendering plus relation summary — everything but the
+// support, whose changes the deltas track.
+func minedPatternKey(p MinedPattern) string {
+	if p.Relations == "" {
+		return p.Pattern
+	}
+	return p.Pattern + "\x1f" + p.Relations
+}
+
+// jobJournal implements jobs.Journal on the dataset store's journal,
+// drawing versions from the store-wide counter (see journalJobPut).
+type jobJournal struct{ s *Server }
+
+func (jj jobJournal) JobPut(id string, spec []byte) error { return jj.s.store.journalJobPut(id, spec) }
+func (jj jobJournal) JobDelete(id string) error           { return jj.s.store.journalJobDelete(id) }
+func (jj jobJournal) JobResult(id string, result []byte) error {
+	return jj.s.store.journalJobResult(id, result)
+}
+
+// --------------------------------------------------------- job handlers
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireContentType(w, r, "application/json") {
+		return
+	}
+	var spec api.JobSpec
+	if err := s.decodeJSONBody(r, &spec); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.jobMgr.Create(spec)
+	if err != nil {
+		s.writeJobError(w, r, spec.ID, err)
+		return
+	}
+	s.logger.Info("job created", "request_id", requestID(r), "job", st.ID,
+		"dataset", spec.Dataset)
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	s.writeJSON(w, http.StatusCreated, st)
+}
+
+// writeJobError maps a jobs-manager error to a response.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, id string, err error) {
+	var fe *api.FieldError
+	var je *journalError
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+	case errors.Is(err, jobs.ErrExists):
+		s.writeError(w, r, http.StatusConflict, fmt.Errorf("job %q already exists", id))
+	case errors.Is(err, jobs.ErrClosed):
+		s.writeError(w, r, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+	case errors.As(err, &fe):
+		s.writeError(w, r, http.StatusBadRequest, err)
+	case errors.As(err, &je):
+		s.writeStoreError(w, r, err)
+	default:
+		s.writeError(w, r, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.jobMgr.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.jobMgr.Get(id)
+	if err != nil {
+		s.writeJobError(w, r, id, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jobMgr.Delete(id); err != nil {
+		s.writeJobError(w, r, id, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobResult serves the latest run's full pattern set, with the
+// same strong-ETag/304 machinery as batch mining: the tag pins (job,
+// run), and a run is immutable once published.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok, err := s.jobMgr.Result(id)
+	if err != nil {
+		s.writeJobError(w, r, id, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("job %q has not completed a run yet", id))
+		return
+	}
+	etag := resultETag(cache.Key{Dataset: "job/" + id, Version: res.RunSeq, Options: "job-result"})
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleJobEvents streams a job's deltas as Server-Sent Events. Each
+// event's id is the run sequence, so a dropped client resumes exactly by
+// sending Last-Event-ID: the replay ring fills small gaps, and larger
+// ones (a restart, a slow consumer far behind) get one full "result"
+// snapshot to rebase on. Heartbeat comments keep idle connections alive
+// through proxies; a subscriber that cannot drain its queue is
+// disconnected (its channel closes) rather than allowed to stall the
+// job.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError,
+			errors.New("streaming unsupported by this connection"))
+		return
+	}
+	var lastEventID *uint64
+	if h := r.Header.Get("Last-Event-ID"); h != "" {
+		v, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest,
+				fmt.Errorf("malformed Last-Event-ID %q", h))
+			return
+		}
+		lastEventID = &v
+	}
+	sub, backlog, err := s.jobMgr.Subscribe(id, lastEventID)
+	if err != nil {
+		s.writeJobError(w, r, id, err)
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range backlog {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away; Subscribe's Close (deferred) unregisters.
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				// Dropped as a slow consumer, or the job was deleted / the
+				// server is closing. Ending the response makes the client
+				// reconnect with Last-Event-ID and resume (or get the 404).
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			// Drain whatever else is queued before flushing once.
+			for {
+				select {
+				case ev, open := <-sub.C:
+					if !open {
+						flusher.Flush()
+						return
+					}
+					if err := writeSSE(w, ev); err != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE frames one event in text/event-stream format. Payloads are
+// single-line JSON, so no data-field splitting is needed.
+func writeSSE(w interface{ Write([]byte) (int, error) }, ev jobs.Event) error {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, ev.Data)
+	return err
+}

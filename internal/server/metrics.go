@@ -41,6 +41,14 @@ import (
 //     duration, the most recent partition's load-skew ratio, and
 //     patterns merged / support-completed at the coordinator. All zero
 //     when datasets hold a single shard.
+//   - tpmd_job_* / tpmd_sse_*: continuous mining — resident job count,
+//     runs by outcome and their duration, delta events published, live
+//     SSE subscribers, events fanned out to them, and slow consumers
+//     dropped.
+//   - tpmd_ingest_*: streaming ingestion — events accepted, batches
+//     flushed into versioned appends, and events rejected (buffer
+//     overflow while the store was unavailable, or dropped at
+//     shutdown).
 type serverMetrics struct {
 	reqTotal  *obs.CounterVec // route, api, class
 	reqDur    *obs.HistogramVec
@@ -66,7 +74,47 @@ type serverMetrics struct {
 	persist    *persistMetrics
 	resilience *resilienceMetrics
 	shard      *shardMetrics
+	jobs       *jobsMetrics
+
+	ingestEvents   *obs.Counter
+	ingestBatches  *obs.Counter
+	ingestRejected *obs.Counter
 }
+
+// jobsMetrics adapts the obs registry to the jobs.Metrics interface;
+// the manager calls it from run loops and the publish path, so every
+// method is a handful of atomic updates.
+type jobsMetrics struct {
+	count      *obs.Gauge
+	runs       *obs.CounterVec // outcome
+	runDur     *obs.Histogram
+	events     *obs.Counter
+	sseSubs    *obs.Gauge
+	sseSent    *obs.Counter
+	sseDropped *obs.Counter
+}
+
+func (m *jobsMetrics) JobCount(n int) { m.count.Set(int64(n)) }
+func (m *jobsMetrics) RunDone(outcome string, d time.Duration) {
+	m.runs.With(outcome).Inc()
+	m.runDur.Observe(d.Seconds())
+}
+func (m *jobsMetrics) EventPublished(subscribers int) {
+	m.events.Inc()
+	m.sseSent.Add(uint64(subscribers))
+}
+func (m *jobsMetrics) SubscriberChange(delta int) {
+	if delta >= 0 {
+		for i := 0; i < delta; i++ {
+			m.sseSubs.Inc()
+		}
+		return
+	}
+	for i := 0; i < -delta; i++ {
+		m.sseSubs.Dec()
+	}
+}
+func (m *jobsMetrics) SubscriberDropped() { m.sseDropped.Inc() }
 
 // shardMetrics adapts the obs registry to the shard.Metrics interface;
 // the coordinator calls it once per fan-out / shard completion / merge,
@@ -263,6 +311,29 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			counted: reg.NewCounter("tpmd_shard_counted_patterns_total",
 				"Patterns whose support was completed via a per-shard Count round because some shard missed them locally."),
 		},
+		jobs: &jobsMetrics{
+			count: reg.NewGauge("tpmd_job_count",
+				"Continuous-mining jobs currently resident."),
+			runs: reg.NewCounterVec("tpmd_job_runs_total",
+				"Continuous-mining job runs, by outcome (ok, noop, error).", "outcome"),
+			runDur: reg.NewHistogram("tpmd_job_run_duration_seconds",
+				"Wall time of one continuous-mining job run (mine + diff + publish).", nil),
+			events: reg.NewCounter("tpmd_job_events_published_total",
+				"Delta/result events published by job runs."),
+			sseSubs: reg.NewGauge("tpmd_sse_subscribers",
+				"SSE subscribers currently connected across all jobs."),
+			sseSent: reg.NewCounter("tpmd_sse_events_sent_total",
+				"Events enqueued to SSE subscribers (one per event per subscriber)."),
+			sseDropped: reg.NewCounter("tpmd_sse_dropped_total",
+				"SSE subscribers disconnected for not draining their event queue."),
+		},
+
+		ingestEvents: reg.NewCounter("tpmd_ingest_events_total",
+			"Event intervals flushed into versioned dataset appends by streaming ingestion."),
+		ingestBatches: reg.NewCounter("tpmd_ingest_batches_total",
+			"Ingest batches flushed (by count, by age, or at shutdown)."),
+		ingestRejected: reg.NewCounter("tpmd_ingest_rejected_total",
+			"Buffered ingest events dropped because the store stayed unavailable or the server shut down."),
 	}
 	// internal/persist reports retries through the persist.Metrics
 	// interface, but the series lives in the resilience family.
@@ -301,18 +372,28 @@ func apiLabel(r *http.Request) string {
 func routeLabel(r *http.Request) string {
 	p := strings.TrimPrefix(r.URL.Path, "/v1")
 	switch p {
-	case "/healthz", "/readyz", "/metrics", "/datasets":
+	case "/healthz", "/readyz", "/metrics", "/datasets", "/routes", "/jobs":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/datasets/"); ok {
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
 			switch suffix := rest[i:]; suffix {
-			case "/mine", "/rules", "/append":
+			case "/mine", "/rules", "/append", "/events":
 				return "/datasets/{name}" + suffix
 			}
 			return "other"
 		}
 		return "/datasets/{name}"
+	}
+	if rest, ok := strings.CutPrefix(p, "/jobs/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch suffix := rest[i:]; suffix {
+			case "/result", "/events":
+				return "/jobs/{id}" + suffix
+			}
+			return "other"
+		}
+		return "/jobs/{id}"
 	}
 	return "other"
 }
@@ -354,4 +435,12 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the metrics middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -72,6 +72,18 @@ func (j *resilientJournal) LogDelete(name string, version uint64) error {
 	return j.do(func() error { return j.inner.LogDelete(name, version) })
 }
 
+func (j *resilientJournal) LogJobPut(id string, version uint64, spec []byte) error {
+	return j.do(func() error { return j.inner.LogJobPut(id, version, spec) })
+}
+
+func (j *resilientJournal) LogJobDelete(id string, version uint64) error {
+	return j.do(func() error { return j.inner.LogJobDelete(id, version) })
+}
+
+func (j *resilientJournal) LogJobResult(id string, version uint64, result []byte) error {
+	return j.do(func() error { return j.inner.LogJobResult(id, version, result) })
+}
+
 // do runs one journal operation through the breaker. Only the closed
 // state admits writes; half-open is reserved for the background prober,
 // so client traffic never races the recovery check.

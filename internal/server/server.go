@@ -5,24 +5,39 @@
 //
 // # API (v1)
 //
-// All routes are mounted under /v1; the unversioned paths remain as
-// deprecated aliases (they behave identically, carry a "Deprecation:
-// true" header and a Link to their /v1 successor, and keep the legacy
-// "elapsed" stats field that /v1 drops). JSON in/out unless noted:
+// All routes are mounted under /v1; pre-existing routes keep
+// unversioned paths as deprecated aliases (they behave identically,
+// carry a "Deprecation: true" header and a Link to their /v1
+// successor, and keep the legacy "elapsed" stats field that /v1
+// drops), while routes added after the v1 cut are v1-only. The table
+// below is also served machine-readably at GET /v1/routes. JSON
+// in/out unless noted:
 //
 //	GET    /v1/healthz                      liveness (200 even when degraded)
 //	GET    /v1/readyz                       readiness (503 while degraded)
 //	GET    /v1/metrics                      Prometheus text exposition
+//	GET    /v1/routes                       this table, machine-readable
 //	GET    /v1/datasets                     list datasets with summaries
 //	PUT    /v1/datasets/{name}              create/replace; body is csv,
 //	                                        lines, or json per Content-Type
 //	GET    /v1/datasets/{name}              dataset summary (ETag, 304)
 //	DELETE /v1/datasets/{name}              remove
 //	POST   /v1/datasets/{name}/append       append sequences (same formats)
-//	POST   /v1/datasets/{name}/mine         body: MineRequest; patterns
-//	                                        with supports (ETag, 304)
-//	POST   /v1/datasets/{name}/rules        body: RulesRequest; temporal
-//	                                        association rules (ETag, 304)
+//	POST   /v1/datasets/{name}/events       NDJSON event stream; batched
+//	                                        into versioned appends; 202 ack
+//	POST   /v1/datasets/{name}/mine         body: MineSpec (mode temporal|
+//	                                        coincidence|rules, optional
+//	                                        window); patterns or rules with
+//	                                        supports (ETag, 304)
+//	POST   /v1/datasets/{name}/rules        deprecated alias for mine with
+//	                                        mode "rules"
+//	POST   /v1/jobs                         create a continuous mining job
+//	GET    /v1/jobs                         list jobs
+//	GET    /v1/jobs/{id}                    job status
+//	DELETE /v1/jobs/{id}                    delete job (journaled)
+//	GET    /v1/jobs/{id}/result             latest stored result (ETag, 304)
+//	GET    /v1/jobs/{id}/events             SSE delta stream (Last-Event-ID
+//	                                        resume, heartbeats)
 //
 // Errors use one JSON envelope on every route and status:
 // {"error":{"code","message","field"},"request_id":"..."} — code is a
@@ -99,6 +114,21 @@
 // -shards / -shard-min-seqs flags on cmd/tpmd (Config.Shards /
 // Config.ShardMinSeqs here) size the partition; tpmd_shard_* metrics
 // expose fan-outs, per-shard durations, and partition skew.
+//
+// # Streaming and continuous jobs
+//
+// POST /v1/datasets/{name}/events ingests NDJSON event lines, batching
+// them into ordinary versioned appends (flush on count or age —
+// Config.IngestFlushCount / Config.IngestFlushAge), so cache
+// invalidation, ETags, persistence, and sharding all see ingest as
+// appends. A job (internal/jobs) watches a dataset and re-mines it
+// through the same cached, sharded, single-flighted path as the mine
+// endpoint whenever the version moves, publishing the delta between
+// consecutive results over SSE at GET /v1/jobs/{id}/events; clients
+// resume with Last-Event-ID and cumulative delta application is
+// byte-identical to a fresh batch mine. Jobs and their latest results
+// journal through the same store (and circuit breaker) as datasets,
+// surviving restarts. See DESIGN.md "Continuous mining".
 package server
 
 import (
@@ -121,10 +151,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpminer/internal/api"
 	"tpminer/internal/cache"
 	"tpminer/internal/core"
 	"tpminer/internal/dataio"
 	"tpminer/internal/interval"
+	"tpminer/internal/jobs"
 	"tpminer/internal/obs"
 	"tpminer/internal/pattern"
 	"tpminer/internal/persist"
@@ -146,6 +178,15 @@ const (
 	// dataset is only split while every shard would keep at least this
 	// many sequences, so tiny datasets never pay fan-out overhead.
 	DefaultShardMinSeqs = 16
+	// DefaultIngestFlushCount is how many buffered ingest events force a
+	// versioned append.
+	DefaultIngestFlushCount = 512
+	// DefaultIngestFlushAge is how long a partial ingest batch may sit
+	// buffered before it is flushed anyway.
+	DefaultIngestFlushAge = 200 * time.Millisecond
+	// DefaultSSEHeartbeat is the idle-comment cadence on job event
+	// streams, keeping intermediaries from timing out quiet connections.
+	DefaultSSEHeartbeat = 15 * time.Second
 )
 
 // Config bounds the server's resource usage. The zero value selects
@@ -208,6 +249,30 @@ type Config struct {
 	// effective shard count on small datasets. 0 means
 	// DefaultShardMinSeqs.
 	ShardMinSeqs int
+
+	// IngestFlushCount is the batch size of the streaming ingest route:
+	// buffered events become a versioned append once this many are
+	// pending. 0 means DefaultIngestFlushCount.
+	IngestFlushCount int
+
+	// IngestFlushAge bounds how long a partial ingest batch may wait for
+	// more events before it is appended anyway. 0 means
+	// DefaultIngestFlushAge.
+	IngestFlushAge time.Duration
+
+	// JobDebounce is the default quiet period a continuous-mining job
+	// waits after a dataset change before re-mining (jobs may set their
+	// own debounce_ms). 0 means jobs.DefaultDebounce.
+	JobDebounce time.Duration
+
+	// SSESubscriberQueue is the per-subscriber event queue capacity on
+	// job streams; a subscriber that falls this far behind is dropped and
+	// must resume via Last-Event-ID. 0 means jobs.DefaultQueueSize.
+	SSESubscriberQueue int
+
+	// SSEHeartbeat is the idle-comment cadence on job event streams. 0
+	// means DefaultSSEHeartbeat.
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +300,15 @@ func (c Config) withDefaults() Config {
 	if c.ShardMinSeqs <= 0 {
 		c.ShardMinSeqs = DefaultShardMinSeqs
 	}
+	if c.IngestFlushCount <= 0 {
+		c.IngestFlushCount = DefaultIngestFlushCount
+	}
+	if c.IngestFlushAge <= 0 {
+		c.IngestFlushAge = DefaultIngestFlushAge
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = DefaultSSEHeartbeat
+	}
 	return c
 }
 
@@ -257,6 +331,14 @@ type Server struct {
 	// journal wraps the persist store's journal with the circuit
 	// breaker and background recovery probe. nil without persistence.
 	journal *resilientJournal
+
+	// jobMgr owns the continuous-mining jobs (/v1/jobs); it mines
+	// through the server's cached path and journals through the store.
+	jobMgr *jobs.Manager
+
+	// ingest buffers streaming NDJSON events per dataset and flushes
+	// them as versioned appends (by count or by age).
+	ingest *ingestPool
 
 	// mineSem bounds concurrent mining jobs. Admission is deadline-
 	// aware: a request parks only while a slot could still free up
@@ -322,14 +404,44 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 			s.results.SetDegraded(s.journal.degraded)
 		}
 	}
+	s.ingest = &ingestPool{s: s, batchers: make(map[string]*ingestBatcher)}
+	jm, err := jobs.New(jobs.Config{
+		Runner:    jobRunner{s},
+		Journal:   jobJournal{s},
+		Logger:    logger,
+		Metrics:   met.jobs,
+		Debounce:  cfg.JobDebounce,
+		QueueSize: cfg.SSESubscriberQueue,
+	})
+	if err != nil { // unreachable: runner and journal are always set
+		panic("server: jobs manager: " + err.Error())
+	}
+	s.jobMgr = jm
+	if cfg.Persist != nil {
+		// Restore journaled jobs after datasets, so the catch-up run each
+		// restored job arms can see its dataset.
+		recovered := cfg.Persist.RecoveredJobs()
+		stored := make([]jobs.StoredJob, 0, len(recovered))
+		for id, js := range recovered {
+			stored = append(stored, jobs.StoredJob{ID: id, Spec: js.Spec, Result: js.Result})
+		}
+		s.jobMgr.Restore(stored)
+	}
 	return s
 }
 
-// Close stops the server's background resilience work (the recovery
-// prober). It does not close the persist store — the caller owns that
-// lifecycle. Safe to call more than once, and a no-op for servers
-// without persistence.
+// Close stops the server's background work: pending ingest batches are
+// flushed (acknowledged events must not vanish on a graceful shutdown),
+// every job run loop stops and its subscribers disconnect, and the
+// recovery prober exits. It does not close the persist store — the
+// caller owns that lifecycle. Safe to call more than once.
 func (s *Server) Close() {
+	if s.ingest != nil {
+		s.ingest.close()
+	}
+	if s.jobMgr != nil {
+		s.jobMgr.Close()
+	}
 	if s.journal != nil {
 		s.journal.close()
 	}
@@ -346,57 +458,105 @@ func (s *Server) degraded() bool {
 // on it.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// routeTable is the single source of truth for the HTTP surface: the
-// mux is built from it (each route mounted under /v1 and as a
-// deprecated legacy alias) and the README route-contract test walks it.
-var routeTable = []struct{ method, pattern string }{
-	{"GET", "/healthz"},
-	{"GET", "/readyz"},
-	{"GET", "/metrics"},
-	{"GET", "/datasets"},
-	{"PUT", "/datasets/{name}"},
-	{"GET", "/datasets/{name}"},
-	{"DELETE", "/datasets/{name}"},
-	{"POST", "/datasets/{name}/append"},
-	{"POST", "/datasets/{name}/mine"},
-	{"POST", "/datasets/{name}/rules"},
+// RouteInfo describes one route of the HTTP surface. The route table is
+// the single source of truth: the mux is built from it, GET /v1/routes
+// serves it verbatim as the machine-readable API contract, and the
+// README route-contract test asserts against that endpoint.
+type RouteInfo struct {
+	Method  string `json:"method"`
+	Pattern string `json:"pattern"` // path under /v1
+	Summary string `json:"summary"`
+	// V1Only marks routes served only under /v1, with no legacy
+	// unversioned alias (everything added after the /v1 cut).
+	V1Only bool `json:"v1_only,omitempty"`
+	// Deprecated marks a route kept for compatibility; Successor names
+	// where new clients should go instead.
+	Deprecated bool   `json:"deprecated,omitempty"`
+	Successor  string `json:"successor,omitempty"`
+}
+
+var routeTable = []RouteInfo{
+	{Method: "GET", Pattern: "/healthz", Summary: "liveness probe (200 even while degraded)"},
+	{Method: "GET", Pattern: "/readyz", Summary: "readiness probe (503 while persistence is degraded)"},
+	{Method: "GET", Pattern: "/metrics", Summary: "Prometheus text exposition"},
+	{Method: "GET", Pattern: "/routes", Summary: "this machine-readable route table", V1Only: true},
+	{Method: "GET", Pattern: "/datasets", Summary: "list datasets with summaries"},
+	{Method: "PUT", Pattern: "/datasets/{name}", Summary: "create or replace a dataset (csv, lines, or json body)"},
+	{Method: "GET", Pattern: "/datasets/{name}", Summary: "dataset summary (ETag, 304)"},
+	{Method: "DELETE", Pattern: "/datasets/{name}", Summary: "delete a dataset"},
+	{Method: "POST", Pattern: "/datasets/{name}/append", Summary: "append sequences (same body formats as PUT)"},
+	{Method: "POST", Pattern: "/datasets/{name}/events", Summary: "stream NDJSON event intervals; batched into versioned appends", V1Only: true},
+	{Method: "POST", Pattern: "/datasets/{name}/mine", Summary: "mine patterns; mode temporal, coincidence, or rules (ETag, 304)"},
+	{Method: "POST", Pattern: "/datasets/{name}/rules", Summary: "mine association rules", Deprecated: true, Successor: "POST /v1/datasets/{name}/mine"},
+	{Method: "POST", Pattern: "/jobs", Summary: "create a continuous-mining job", V1Only: true},
+	{Method: "GET", Pattern: "/jobs", Summary: "list jobs", V1Only: true},
+	{Method: "GET", Pattern: "/jobs/{id}", Summary: "job status", V1Only: true},
+	{Method: "DELETE", Pattern: "/jobs/{id}", Summary: "delete a job", V1Only: true},
+	{Method: "GET", Pattern: "/jobs/{id}/result", Summary: "latest job result (ETag, 304)", V1Only: true},
+	{Method: "GET", Pattern: "/jobs/{id}/events", Summary: "job delta stream (Server-Sent Events, Last-Event-ID resume)", V1Only: true},
 }
 
 // Routes returns the canonical route list as "METHOD /v1/path" strings,
-// one per served route. Tooling (the README contract test) walks it.
+// one per served route. Tooling walks it.
 func Routes() []string {
 	out := make([]string, len(routeTable))
 	for i, rt := range routeTable {
-		out[i] = rt.method + " /v1" + rt.pattern
+		out[i] = rt.Method + " /v1" + rt.Pattern
 	}
 	return out
 }
 
-// Handler returns the route table — every route under /v1 plus its
-// legacy unversioned alias — wrapped in the request-ID and
-// panic-recovery middleware.
+// RouteTable returns a copy of the route metadata behind GET /v1/routes.
+func RouteTable() []RouteInfo {
+	out := make([]RouteInfo, len(routeTable))
+	copy(out, routeTable)
+	return out
+}
+
+// handleRoutes serves the machine-readable API contract.
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"routes": routeTable})
+}
+
+// Handler returns the route table — every route under /v1 plus (for
+// pre-/v1 routes) its legacy unversioned alias — wrapped in the
+// request-ID and panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"GET /healthz":                 s.handleHealthz,
 		"GET /readyz":                  s.handleReadyz,
 		"GET /metrics":                 s.reg.Handler().ServeHTTP,
+		"GET /routes":                  s.handleRoutes,
 		"GET /datasets":                s.handleList,
 		"PUT /datasets/{name}":         s.handlePut,
 		"GET /datasets/{name}":         s.handleGet,
 		"DELETE /datasets/{name}":      s.handleDelete,
 		"POST /datasets/{name}/append": s.handleAppend,
+		"POST /datasets/{name}/events": s.handleIngest,
 		"POST /datasets/{name}/mine":   s.handleMine,
 		"POST /datasets/{name}/rules":  s.handleRules,
+		"POST /jobs":                   s.handleJobCreate,
+		"GET /jobs":                    s.handleJobList,
+		"GET /jobs/{id}":               s.handleJobGet,
+		"DELETE /jobs/{id}":            s.handleJobDelete,
+		"GET /jobs/{id}/result":        s.handleJobResult,
+		"GET /jobs/{id}/events":        s.handleJobEvents,
 	}
 	mux := http.NewServeMux()
 	for _, rt := range routeTable {
-		key := rt.method + " " + rt.pattern
+		key := rt.Method + " " + rt.Pattern
 		h, ok := handlers[key]
 		if !ok {
 			panic("server: route without handler: " + key)
 		}
-		mux.HandleFunc(rt.method+" /v1"+rt.pattern, h)
-		mux.HandleFunc(key, deprecated(h))
+		v1h := h
+		if rt.Deprecated {
+			v1h = deprecatedRoute(h, rt.Successor)
+		}
+		mux.HandleFunc(rt.Method+" /v1"+rt.Pattern, v1h)
+		if !rt.V1Only {
+			mux.HandleFunc(key, deprecated(h))
+		}
 	}
 	return s.middleware(mux)
 }
@@ -407,6 +567,21 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// deprecatedRoute wraps a route that is deprecated even on /v1 (the
+// rules route, superseded by mode=rules on the mine route): identical
+// behaviour plus the Deprecation header and a Link to the successor.
+func deprecatedRoute(h http.HandlerFunc, successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		if successor != "" {
+			if i := strings.IndexByte(successor, ' '); i >= 0 {
+				w.Header().Set("Link", "<"+successor[i+1:]+`>; rel="successor-version"`)
+			}
+		}
 		h(w, r)
 	}
 }
@@ -507,6 +682,10 @@ func codeForStatus(status int) string {
 		return "not_found"
 	case http.StatusRequestEntityTooLarge:
 		return "payload_too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case http.StatusConflict:
+		return "conflict"
 	case http.StatusTooManyRequests:
 		return "rate_limited"
 	case http.StatusGatewayTimeout:
@@ -554,10 +733,14 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 // few statuses whose code is not a pure function of the status (500
 // splits into internal vs persist_unavailable).
 func (s *Server) writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
-	var fe *fieldError
 	field := ""
-	if errors.As(err, &fe) {
+	var fe *fieldError
+	var afe *api.FieldError
+	switch {
+	case errors.As(err, &fe):
 		field = fe.field
+	case errors.As(err, &afe):
+		field = afe.Field
 	}
 	id := requestID(r)
 	if status >= 500 || status == http.StatusTooManyRequests {
@@ -655,24 +838,72 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// readDatasetBody parses an uploaded dataset according to Content-Type:
-// text/csv, application/json, or text/plain (line format; the default).
-func (s *Server) readDatasetBody(r *http.Request) (*interval.Database, error) {
-	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+// mediaTypeError marks an unsupported Content-Type, mapped to 415 with
+// the stable "unsupported_media_type" code — distinct from a malformed
+// body (400), and detected before the body is read.
+type mediaTypeError struct{ msg string }
+
+func (e *mediaTypeError) Error() string { return e.msg }
+
+// contentType extracts the request's media type, stripping parameters.
+func contentType(r *http.Request) string {
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
-	switch strings.TrimSpace(ct) {
+	return strings.TrimSpace(ct)
+}
+
+// requireContentType enforces an endpoint's media type before any of the
+// body is read, rejecting mismatches with 415 and the uniform error
+// envelope. An absent Content-Type is accepted — the decoder applies the
+// endpoint's default.
+func (s *Server) requireContentType(w http.ResponseWriter, r *http.Request, want ...string) bool {
+	ct := contentType(r)
+	if ct == "" {
+		return true
+	}
+	for _, m := range want {
+		if strings.EqualFold(ct, m) {
+			return true
+		}
+	}
+	s.writeError(w, r, http.StatusUnsupportedMediaType,
+		&mediaTypeError{fmt.Sprintf("unsupported Content-Type %q (want %s)", ct, strings.Join(want, " or "))})
+	return false
+}
+
+// readDatasetBody parses an uploaded dataset according to Content-Type:
+// text/csv, application/json, or text/plain (line format; the default).
+func (s *Server) readDatasetBody(r *http.Request) (*interval.Database, error) {
+	ct := contentType(r)
+	switch ct {
+	case "text/csv", "application/json", "", "text/plain":
+	default:
+		// Reject before reading any of the body.
+		return nil, &mediaTypeError{fmt.Sprintf(
+			"unsupported Content-Type %q (want text/csv, application/json, or text/plain)", ct)}
+	}
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	switch ct {
 	case "text/csv":
 		return dataio.ReadCSV(body)
 	case "application/json":
 		return dataio.ReadJSON(body)
-	case "", "text/plain":
-		return dataio.ReadLines(body)
 	default:
-		return nil, fmt.Errorf("unsupported Content-Type %q (want text/csv, application/json, or text/plain)", ct)
+		return dataio.ReadLines(body)
 	}
+}
+
+// writeBodyError maps a failed body parse: unsupported media type → 415,
+// anything else (malformed payload, overflow) → 400/413 via writeError.
+func (s *Server) writeBodyError(w http.ResponseWriter, r *http.Request, err error) {
+	var mte *mediaTypeError
+	if errors.As(err, &mte) {
+		s.writeError(w, r, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	s.writeError(w, r, http.StatusBadRequest, err)
 }
 
 // invalidateResults eagerly drops cached results for a mutated dataset.
@@ -689,7 +920,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	db, err := s.readDatasetBody(r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		s.writeBodyError(w, r, err)
 		return
 	}
 	ver, existed, sum, err := s.store.put(name, db)
@@ -698,6 +929,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.invalidateResults(name)
+	s.jobMgr.Notify(name, ver)
 	s.logger.Info("dataset stored",
 		"request_id", requestID(r), "dataset", name, "sequences", db.Len(),
 		"version", ver)
@@ -713,7 +945,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	add, err := s.readDatasetBody(r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		s.writeBodyError(w, r, err)
 		return
 	}
 	_, ver, sum, found, err := s.store.append(name, add)
@@ -733,6 +965,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.invalidateResults(name)
+	s.jobMgr.Notify(name, ver)
 	w.Header().Set("ETag", datasetETag(name, ver))
 	s.writeJSON(w, http.StatusOK, sum)
 }
@@ -756,7 +989,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ok, err := s.store.delete(name)
+	ver, ok, err := s.store.delete(name)
 	if err != nil {
 		s.writeStoreError(w, r, err)
 		return
@@ -766,6 +999,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
+	s.jobMgr.Notify(name, ver)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -777,12 +1011,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // mining is deterministic for a fixed (database, options) pair.
 func resultETag(k cache.Key) string {
 	h := sha256.New()
-	io.WriteString(h, k.Dataset)
-	h.Write([]byte{0})
+	// sha256 writes never fail; discard explicitly for the error linter.
+	_, _ = io.WriteString(h, k.Dataset)
+	_, _ = h.Write([]byte{0})
 	var vb [8]byte
 	binary.BigEndian.PutUint64(vb[:], k.Version)
-	h.Write(vb[:])
-	io.WriteString(h, k.Options)
+	_, _ = h.Write(vb[:])
+	_, _ = io.WriteString(h, k.Options)
 	sum := h.Sum(nil)
 	return `"` + hex.EncodeToString(sum[:12]) + `"`
 }
@@ -906,13 +1141,13 @@ func (s *Server) retryAfterSeconds() int {
 
 // mineContext derives the mining context for one job, bounded by the
 // server ceiling and lowered further by a per-request timeout_ms if
-// given. With result caching enabled the context is detached from the
-// requesting client's cancellation: the run's result may fan out to
+// given. base is the requester's context — an HTTP request's or a
+// continuous job's. With result caching enabled the context is detached
+// from the requester's cancellation: the run's result may fan out to
 // coalesced waiters and into the cache, so one disconnecting client
 // must not abort work others are (or will be) waiting on. The deadline
 // still applies either way.
-func (s *Server) mineContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
-	base := r.Context()
+func (s *Server) mineContext(base context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
 	if s.results != nil {
 		base = context.WithoutCancel(base)
 	}
@@ -958,142 +1193,19 @@ func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, err e
 
 // ----------------------------------------------------------- wire types
 
-// MiningOptions is the option block shared by MineRequest and
-// RulesRequest. It is embedded, so the wire format stays flat.
-type MiningOptions struct {
-	// MinSupport in (0,1], or MinCount >= 1 (one required).
-	MinSupport float64 `json:"min_support,omitempty"`
-	MinCount   int     `json:"min_count,omitempty"`
-	// MaxIntervals caps pattern size in intervals.
-	MaxIntervals int `json:"max_intervals,omitempty"`
-	// TimeoutMillis lowers the server's hard deadline for this job (it
-	// can never raise it); hitting the deadline aborts with 504.
-	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
-}
-
-// validate rejects malformed shared options, naming the offending JSON
-// field.
-func (o MiningOptions) validate() error {
-	if o.MinSupport < 0 || o.MinSupport > 1 {
-		return &fieldError{"min_support", fmt.Sprintf("min_support %v outside [0,1]", o.MinSupport)}
-	}
-	for _, f := range []struct {
-		name string
-		v    int64
-	}{
-		{"min_count", int64(o.MinCount)},
-		{"max_intervals", int64(o.MaxIntervals)},
-		{"timeout_ms", o.TimeoutMillis},
-	} {
-		if f.v < 0 {
-			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %d", f.name, f.v)}
-		}
-	}
-	return nil
-}
-
-// MineRequest is the body of POST /v1/datasets/{name}/mine.
-type MineRequest struct {
-	// Type is "temporal" (default) or "coincidence".
-	Type string `json:"type,omitempty"`
-	MiningOptions
-	// Optional constraints and modes.
-	MaxElements        int    `json:"max_elements,omitempty"`
-	MaxItemsPerElement int    `json:"max_items_per_element,omitempty"`
-	MaxSpan            int64  `json:"max_span,omitempty"`
-	MaxGap             int64  `json:"max_gap,omitempty"`
-	TopK               int    `json:"top_k,omitempty"`
-	Filter             string `json:"filter,omitempty"` // "", "closed", "maximal"
-	// Soft budgets: the miner stops early and returns what it found,
-	// flagged in stats. Truncated results are never cached.
-	TimeBudgetMillis int64 `json:"time_budget_ms,omitempty"`
-	MaxPatterns      int   `json:"max_patterns,omitempty"`
-	// Parallel requests worker goroutines for the search, capped at the
-	// server's MaxParallel ceiling. Absent or 0 mines serially.
-	Parallel int `json:"parallel,omitempty"`
-}
-
-// validate rejects malformed requests up front — before a mining slot
-// is claimed — so garbage input can never occupy a slot or flow into
-// core.Options unchecked. Each violation names the offending JSON field
-// in the error envelope.
-func (req MineRequest) validate() error {
-	if err := req.MiningOptions.validate(); err != nil {
-		return err
-	}
-	switch req.Type {
-	case "", "temporal", "coincidence":
-	default:
-		return &fieldError{"type", fmt.Sprintf("unknown type %q", req.Type)}
-	}
-	switch req.Filter {
-	case "", "closed", "maximal":
-	default:
-		return &fieldError{"filter", fmt.Sprintf("unknown filter %q", req.Filter)}
-	}
-	for _, f := range []struct {
-		name string
-		v    int64
-	}{
-		{"max_elements", int64(req.MaxElements)},
-		{"max_items_per_element", int64(req.MaxItemsPerElement)},
-		{"max_span", req.MaxSpan},
-		{"max_gap", req.MaxGap},
-		{"top_k", int64(req.TopK)},
-		{"time_budget_ms", req.TimeBudgetMillis},
-		{"max_patterns", int64(req.MaxPatterns)},
-		{"parallel", int64(req.Parallel)},
-	} {
-		if f.v < 0 {
-			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %d", f.name, f.v)}
-		}
-	}
-	return nil
-}
-
-// patternType resolves the request's pattern type with its default.
-func (req MineRequest) patternType() string {
-	if req.Type == "" {
-		return "temporal"
-	}
-	return req.Type
-}
-
-// resultOptions canonicalizes the result-determining options of a mine
-// request into the cache-key/ETag string. Execution knobs — timeout_ms,
-// time_budget_ms, parallel — are deliberately excluded: they change how
-// long the search may run, never what a complete run returns (parallel
-// runs are result-equivalent, and truncated runs are never cached), so
-// requests differing only in those share one entry. max_patterns is
-// included because a complete run under a cap is only known equivalent
-// to an uncapped one at the same cap.
-func (req MineRequest) resultOptions(ptype string) string {
-	return fmt.Sprintf("mine|type=%s|sup=%v|cnt=%d|ivs=%d|els=%d|ipe=%d|span=%d|gap=%d|topk=%d|filter=%s|maxpat=%d",
-		ptype, req.MinSupport, req.MinCount, req.MaxIntervals, req.MaxElements,
-		req.MaxItemsPerElement, req.MaxSpan, req.MaxGap, req.TopK, req.Filter,
-		req.MaxPatterns)
-}
-
-// options converts the request to miner options, capping the requested
-// parallelism at the server ceiling.
-func (req MineRequest) options(maxParallel int) core.Options {
-	par := req.Parallel
-	if par > maxParallel {
-		par = maxParallel
-	}
-	return core.Options{
-		Parallel:           par,
-		MinSupport:         req.MinSupport,
-		MinCount:           req.MinCount,
-		MaxIntervals:       req.MaxIntervals,
-		MaxElements:        req.MaxElements,
-		MaxItemsPerElement: req.MaxItemsPerElement,
-		MaxSpan:            req.MaxSpan,
-		MaxGap:             req.MaxGap,
-		MaxPatterns:        req.MaxPatterns,
-		TimeBudget:         time.Duration(req.TimeBudgetMillis) * time.Millisecond,
-	}
-}
+// The request shapes of the mine family live in internal/api, shared
+// with the jobs subsystem; these aliases keep the server's exported
+// surface intact. MineRequest and RulesRequest are the same struct now —
+// one unified shape with an explicit "mode" field ("temporal",
+// "coincidence", or "rules"); the rules route is a deprecated alias for
+// mode=rules, and the legacy "type" field is accepted with a Deprecation
+// response header.
+type (
+	MiningOptions = api.MiningOptions
+	MineSpec      = api.MineSpec
+	MineRequest   = api.MineSpec
+	RulesRequest  = api.MineSpec
+)
 
 // MinedPattern is one result row of the mine endpoint.
 type MinedPattern struct {
@@ -1185,24 +1297,56 @@ func approxJSONSize(v any) int64 {
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	s.serveMineFamily(w, r, false)
+}
+
+// handleRules is the deprecated rules route: the same unified handler
+// with the mode defaulted (and pinned) to "rules", so old clients keep
+// working while new ones post mode=rules to the mine route.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	s.serveMineFamily(w, r, true)
+}
+
+// serveMineFamily is the one handler behind the whole mine family:
+// batch temporal, coincidence, and rules mining, whole-dataset or
+// windowed, cached and coalesced identically. rulesRoute marks requests
+// that came in via the legacy rules route, whose bodies default to
+// rules mode and may not select any other.
+func (s *Server) serveMineFamily(w http.ResponseWriter, r *http.Request, rulesRoute bool) {
+	if !s.requireContentType(w, r, "application/json") {
+		return
+	}
 	name := r.PathValue("name")
-	var req MineRequest
-	if err := s.decodeJSONBody(r, &req); err != nil {
+	var spec MineSpec
+	if err := s.decodeJSONBody(r, &spec); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.validate(); err != nil {
+	if rulesRoute {
+		if spec.Mode == "" && spec.Type == "" {
+			spec.Mode = api.ModeRules
+		} else if spec.ResolvedMode() != api.ModeRules {
+			s.writeError(w, r, http.StatusBadRequest, &fieldError{"mode", fmt.Sprintf(
+				"mode %q posted to the rules route; use POST /v1/datasets/{name}/mine", spec.ResolvedMode())})
+			return
+		}
+	}
+	if err := spec.Validate(); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	if spec.LegacyShape() {
+		// The old "type" field still works, but mode supersedes it.
+		w.Header().Set("Deprecation", "true")
+	}
+	mode := spec.ResolvedMode()
 	db, part, ver, ok := s.store.snapshot(name)
 	if !ok {
 		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
 		return
 	}
 
-	ptype := req.patternType()
-	key := cache.Key{Dataset: name, Version: ver, Options: req.resultOptions(ptype)}
+	key := cache.Key{Dataset: name, Version: ver, Options: spec.ResultOptions()}
 	etag := resultETag(key)
 	// A matching If-None-Match short-circuits before any mining: the
 	// version in the ETag proves the dataset has not changed, and
@@ -1213,8 +1357,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	wdb, wpart := s.windowed(db, part, spec.Window)
 	compute := func() (any, int64, bool, error) {
-		resp, complete, err := s.runMine(r, db, part, name, ptype, req)
+		if mode == api.ModeRules {
+			out, err := s.runRules(r.Context(), wdb, wpart, spec)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return out, approxJSONSize(out), true, nil
+		}
+		resp, complete, err := s.runMine(r.Context(), wdb, wpart, name, mode, spec)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -1234,19 +1386,62 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, r, err)
 		return
 	}
+	if outcome != "" {
+		w.Header().Set("X-Cache", string(outcome))
+	}
 
+	if mode == api.ModeRules {
+		w.Header().Set("ETag", etag)
+		s.writeJSON(w, http.StatusOK, v.([]WireRule))
+		return
+	}
 	resp := *(v.(*MineResponse)) // shallow copy; per-request fields below
 	resp.Cache = string(outcome)
 	if isV1(r) {
 		resp.Stats.Elapsed = "" // dropped from /v1 responses
 	}
-	if outcome != "" {
-		w.Header().Set("X-Cache", string(outcome))
-	}
 	if !resp.Stats.Truncated {
 		w.Header().Set("ETag", etag)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// windowed applies a window spec to a dataset snapshot, returning the
+// (sub)database to mine and a partition for it. Whole-dataset requests
+// reuse the stored partition; windowed ones partition the slice fresh —
+// windows are bounded, so this is O(window), not O(dataset).
+func (s *Server) windowed(db *interval.Database, part *shard.Partition, win api.WindowSpec) (*interval.Database, *shard.Partition) {
+	if !win.Windowed() {
+		return db, part
+	}
+	sub := windowDatabase(db, win)
+	if sub == db {
+		return db, part
+	}
+	return sub, shard.New(sub, s.store.shards, s.store.shardMinSeqs)
+}
+
+// windowDatabase slices the window out of db. Sequence slice headers are
+// shared, never copied — stored databases are immutable. A sliding
+// window is the newest Count sequences; a tumbling window is the newest
+// complete block of Count sequences (empty until the first block fills).
+func windowDatabase(db *interval.Database, win api.WindowSpec) *interval.Database {
+	n := len(db.Sequences)
+	switch win.Kind {
+	case api.WindowSliding:
+		if n <= win.Count {
+			return db
+		}
+		return &interval.Database{Sequences: db.Sequences[n-win.Count:]}
+	case api.WindowTumbling:
+		blocks := n / win.Count
+		if blocks == 0 {
+			return &interval.Database{}
+		}
+		start := (blocks - 1) * win.Count
+		return &interval.Database{Sequences: db.Sequences[start : start+win.Count]}
+	}
+	return db
 }
 
 // mineCoordinator returns the scatter-gather coordinator for the
@@ -1264,12 +1459,13 @@ func (s *Server) mineCoordinator(db *interval.Database, part *shard.Partition) *
 }
 
 // runMine executes one mining job end to end: claim a slot (errMineBusy
-// when saturated), mine under the job context, record metrics. complete
+// when saturated), mine under the job context, record metrics. base is
+// the requester's context (HTTP request or continuous job). complete
 // reports whether the result is the full deterministic answer for
 // (dataset version, options) — truncated runs are not, and must never
 // be cached or carry an ETag.
-func (s *Server) runMine(r *http.Request, db *interval.Database, part *shard.Partition, name, ptype string, req MineRequest) (resp *MineResponse, complete bool, err error) {
-	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
+func (s *Server) runMine(base context.Context, db *interval.Database, part *shard.Partition, name, ptype string, req MineSpec) (resp *MineResponse, complete bool, err error) {
+	ctx, cancel := s.mineContext(base, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
 	if err != nil {
@@ -1289,13 +1485,13 @@ func (s *Server) runMine(r *http.Request, db *interval.Database, part *shard.Par
 		var rs []pattern.TemporalResult
 		switch {
 		case co != nil && req.TopK > 0:
-			rs, st, err = co.MineTemporalTopK(ctx, req.TopK, req.options(s.cfg.MaxParallel))
+			rs, st, err = co.MineTemporalTopK(ctx, req.TopK, req.Options(s.cfg.MaxParallel))
 		case co != nil:
-			rs, st, err = co.MineTemporal(ctx, req.options(s.cfg.MaxParallel))
+			rs, st, err = co.MineTemporal(ctx, req.Options(s.cfg.MaxParallel))
 		case req.TopK > 0:
-			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
+			rs, st, err = core.MineTemporalTopKCtx(ctx, db, req.TopK, req.Options(s.cfg.MaxParallel))
 		default:
-			rs, st, err = core.MineTemporalCtx(ctx, db, req.options(s.cfg.MaxParallel))
+			rs, st, err = core.MineTemporalCtx(ctx, db, req.Options(s.cfg.MaxParallel))
 		}
 		if err == nil {
 			switch req.Filter {
@@ -1316,13 +1512,13 @@ func (s *Server) runMine(r *http.Request, db *interval.Database, part *shard.Par
 		var rs []pattern.CoincResult
 		switch {
 		case co != nil && req.TopK > 0:
-			rs, st, err = co.MineCoincidenceTopK(ctx, req.TopK, req.options(s.cfg.MaxParallel))
+			rs, st, err = co.MineCoincidenceTopK(ctx, req.TopK, req.Options(s.cfg.MaxParallel))
 		case co != nil:
-			rs, st, err = co.MineCoincidence(ctx, req.options(s.cfg.MaxParallel))
+			rs, st, err = co.MineCoincidence(ctx, req.Options(s.cfg.MaxParallel))
 		case req.TopK > 0:
-			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.options(s.cfg.MaxParallel))
+			rs, st, err = core.MineCoincidenceTopKCtx(ctx, db, req.TopK, req.Options(s.cfg.MaxParallel))
 		default:
-			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.options(s.cfg.MaxParallel))
+			rs, st, err = core.MineCoincidenceCtx(ctx, db, req.Options(s.cfg.MaxParallel))
 		}
 		if err == nil {
 			switch req.Filter {
@@ -1348,41 +1544,6 @@ func (s *Server) runMine(r *http.Request, db *interval.Database, part *shard.Par
 	return resp, !st.Truncated, nil
 }
 
-// RulesRequest is the body of POST /v1/datasets/{name}/rules: mine
-// temporal patterns, then derive association rules.
-type RulesRequest struct {
-	MiningOptions
-	MinConfidence float64 `json:"min_confidence,omitempty"`
-	MinLift       float64 `json:"min_lift,omitempty"`
-}
-
-// validate rejects malformed rules requests with the offending field
-// named; see MineRequest.validate.
-func (req RulesRequest) validate() error {
-	if err := req.MiningOptions.validate(); err != nil {
-		return err
-	}
-	for _, f := range []struct {
-		name string
-		v    float64
-	}{
-		{"min_confidence", req.MinConfidence},
-		{"min_lift", req.MinLift},
-	} {
-		if f.v < 0 {
-			return &fieldError{f.name, fmt.Sprintf("%s must not be negative, got %v", f.name, f.v)}
-		}
-	}
-	return nil
-}
-
-// resultOptions canonicalizes the result-determining options of a rules
-// request; see MineRequest.resultOptions.
-func (req RulesRequest) resultOptions() string {
-	return fmt.Sprintf("rules|sup=%v|cnt=%d|ivs=%d|conf=%v|lift=%v",
-		req.MinSupport, req.MinCount, req.MaxIntervals, req.MinConfidence, req.MinLift)
-}
-
 // WireRule is one derived rule on the wire.
 type WireRule struct {
 	Antecedent string  `json:"antecedent"`
@@ -1393,63 +1554,10 @@ type WireRule struct {
 	Lift       float64 `json:"lift"`
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req RulesRequest
-	if err := s.decodeJSONBody(r, &req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if err := req.validate(); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	db, part, ver, ok := s.store.snapshot(name)
-	if !ok {
-		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
-		return
-	}
-
-	key := cache.Key{Dataset: name, Version: ver, Options: req.resultOptions()}
-	etag := resultETag(key)
-	if etagMatches(r.Header.Get("If-None-Match"), etag) {
-		w.Header().Set("ETag", etag)
-		w.WriteHeader(http.StatusNotModified)
-		return
-	}
-
-	compute := func() (any, int64, bool, error) {
-		out, err := s.runRules(r, db, part, req)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		return out, approxJSONSize(out), true, nil
-	}
-	var (
-		v       any
-		outcome cache.Outcome
-		err     error
-	)
-	if s.results != nil {
-		v, outcome, err = s.results.Do(r.Context(), key, compute)
-	} else {
-		v, _, _, err = compute()
-	}
-	if err != nil {
-		s.writeComputeError(w, r, err)
-		return
-	}
-	if outcome != "" {
-		w.Header().Set("X-Cache", string(outcome))
-	}
-	w.Header().Set("ETag", etag)
-	s.writeJSON(w, http.StatusOK, v.([]WireRule))
-}
-
 // runRules executes one rules job: mine temporal patterns under a slot
 // and the job context, then derive scored rules.
-func (s *Server) runRules(r *http.Request, db *interval.Database, part *shard.Partition, req RulesRequest) ([]WireRule, error) {
-	ctx, cancel := s.mineContext(r, req.TimeoutMillis)
+func (s *Server) runRules(base context.Context, db *interval.Database, part *shard.Partition, req MineSpec) ([]WireRule, error) {
+	ctx, cancel := s.mineContext(base, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
 	if err != nil {

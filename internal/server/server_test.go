@@ -218,7 +218,7 @@ func TestMineRequestParallelCap(t *testing.T) {
 		{0, 4, 0}, {3, 4, 3}, {4, 4, 4}, {9, 4, 4},
 	}
 	for _, c := range cases {
-		opt := MineRequest{MiningOptions: MiningOptions{MinCount: 1}, Parallel: c.req}.options(c.ceil)
+		opt := MineRequest{MiningOptions: MiningOptions{MinCount: 1}, Parallel: c.req}.Options(c.ceil)
 		if opt.Parallel != c.want {
 			t.Errorf("options(%d) with ceiling %d: Parallel = %d, want %d", c.req, c.ceil, opt.Parallel, c.want)
 		}
@@ -261,7 +261,7 @@ func TestErrorPaths(t *testing.T) {
 		{"mine missing dataset", "POST", "/datasets/nope/mine", "application/json", `{"min_count":1}`, 404},
 		{"append missing dataset", "POST", "/datasets/nope/append", "text/plain", "A[1,2]\n", 404},
 		{"delete missing dataset", "DELETE", "/datasets/nope", "", "", 404},
-		{"bad upload format", "PUT", "/datasets/x", "application/xml", "<x/>", 400},
+		{"bad upload format", "PUT", "/datasets/x", "application/xml", "<x/>", 415},
 		{"bad csv", "PUT", "/datasets/x", "text/csv", "a,b\n", 400},
 		{"mine no threshold", "POST", "/datasets/demo/mine", "application/json", `{}`, 400},
 		{"mine bad type", "POST", "/datasets/demo/mine", "application/json", `{"type":"x","min_count":1}`, 400},

@@ -18,6 +18,9 @@ type storeJournal interface {
 	LogPut(name string, version uint64, db *interval.Database) error
 	LogAppend(name string, version uint64, add *interval.Database) error
 	LogDelete(name string, version uint64) error
+	LogJobPut(id string, version uint64, spec []byte) error
+	LogJobDelete(id string, version uint64) error
+	LogJobResult(id string, version uint64, result []byte) error
 }
 
 // journalError marks a failure in the durability layer (as opposed to
@@ -259,22 +262,77 @@ func (st *datasetStore) append(name string, add *interval.Database) (db *interva
 
 // delete removes the named dataset. The version counter still advances
 // so a later re-creation cannot resurrect stale cache keys; the journal
-// records the bump so that holds across restarts too.
-func (st *datasetStore) delete(name string) (bool, error) {
+// records the bump so that holds across restarts too. The returned
+// version (the delete's own) lets callers notify watchers of the
+// mutation.
+func (st *datasetStore) delete(name string) (version uint64, found bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, ok := st.entries[name]; !ok {
-		return false, nil
+		return 0, false, nil
 	}
 	ver := st.verSeq + 1
 	if st.journal != nil {
 		if err := st.journal.LogDelete(name, ver); err != nil {
-			return true, &journalError{fmt.Errorf("persist delete: %w", err)}
+			return 0, true, &journalError{fmt.Errorf("persist delete: %w", err)}
 		}
 	}
 	st.verSeq = ver
 	delete(st.entries, name)
-	return true, nil
+	return ver, true, nil
+}
+
+// journalJobPut durably records a job spec (commit-before-visible: the
+// jobs manager only installs the job if this succeeds). Job records draw
+// versions from the same store-wide counter as dataset mutations — the
+// persist layer's replay-skip invariant (records at or below the
+// snapshot version are skipped on recovery) only holds if every
+// journaled record's version is unique and monotone across the store.
+// With no journal attached jobs are memory-only and this is a no-op.
+func (st *datasetStore) journalJobPut(id string, spec []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	ver := st.verSeq + 1
+	if err := st.journal.LogJobPut(id, ver, spec); err != nil {
+		return &journalError{fmt.Errorf("persist job put: %w", err)}
+	}
+	st.verSeq = ver
+	return nil
+}
+
+// journalJobDelete durably records a job deletion.
+func (st *datasetStore) journalJobDelete(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	ver := st.verSeq + 1
+	if err := st.journal.LogJobDelete(id, ver); err != nil {
+		return &journalError{fmt.Errorf("persist job delete: %w", err)}
+	}
+	st.verSeq = ver
+	return nil
+}
+
+// journalJobResult durably records a job's latest result so it can be
+// served immediately after a restart. Callers treat failures as
+// best-effort: a degraded journal must not stop the live stream.
+func (st *datasetStore) journalJobResult(id string, result []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	ver := st.verSeq + 1
+	if err := st.journal.LogJobResult(id, ver, result); err != nil {
+		return &journalError{fmt.Errorf("persist job result: %w", err)}
+	}
+	st.verSeq = ver
+	return nil
 }
 
 // list returns the precomputed summary of every dataset; no interval
