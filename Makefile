@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint contract recovery chaos stream verify bench bench-all profile
+.PHONY: build vet test race lint contract recovery chaos stream dist verify bench bench-all profile
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # journal entry. vet plus the repo's own errcheck-style checker
 # (cmd/errlint); assign to _ to mark a deliberately best-effort call.
 lint: vet
-	$(GO) run ./cmd/errlint ./internal/persist ./internal/blob ./internal/server ./internal/jobs
+	$(GO) run ./cmd/errlint ./internal/persist ./internal/blob ./internal/server ./internal/jobs ./internal/remote
 
 # Race-enabled run; the cancellation/backpressure tests exercise real
 # concurrency, so this is the form CI should run.
@@ -56,17 +56,30 @@ stream:
 	$(GO) test -race ./internal/server -run 'TestStreaming|TestSSE|TestJobDelete' -count=1
 	$(GO) test -race ./internal/jobs
 
+# Distributed-mining gate: the remote-worker conformance suite, the
+# push/registry/failover unit tests, the chaos schedule over flaky
+# workers, and the server-level acceptance test (remote byte-identical
+# to local sharded, exact failover when a worker dies mid-mine, no
+# goroutine leaks) — all under the race detector, since the pool client
+# and registry are exercised concurrently by the coordinator's fan-out.
+dist:
+	$(GO) test -race ./internal/remote -count=1
+	$(GO) test -race ./internal/shard -run 'WorkerConformance|FanOutError|WorkerAddr'
+	$(GO) test -race ./internal/server -run 'TestRemoteMineMatchesLocal' -count=1
+
 # The full pre-merge gate. vet and race cover every package, including
 # internal/obs and the instrumented server/scheduler paths; lint fails
 # on unchecked errors in the durability, server, and jobs layers;
 # contract keeps the README API table in lockstep with the served
 # routes; recovery re-runs the persist crash-recovery suite by name;
 # chaos re-rolls the randomized fault schedule with a fresh seed;
-# stream re-runs the streaming/SSE/job-durability suite by name.
-verify: build vet lint race contract recovery chaos stream
+# stream re-runs the streaming/SSE/job-durability suite by name; dist
+# re-runs the remote-worker/failover suite by name.
+verify: build vet lint race contract recovery chaos stream dist
 
 # Runs the Fig-1 workload (at GOMAXPROCS=1 and =NumCPU), the sharded
-# Fig-1a series, and the core micro-benchmarks, writing BENCH_core.json
+# Fig-1a series, the remote-worker Fig-1a series over loopback HTTP,
+# and the core micro-benchmarks, writing BENCH_core.json
 # with speedups against bench/baseline.json. Gates: no workload point
 # below 0.95x of the committed baseline, shards=1 within 0.95x of
 # unsharded (coordinator overhead), and — on multi-core machines only —

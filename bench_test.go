@@ -13,6 +13,7 @@ package tpminer_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"tpminer/internal/baseline"
@@ -22,6 +23,7 @@ import (
 	"tpminer/internal/incremental"
 	"tpminer/internal/interval"
 	"tpminer/internal/pattern"
+	"tpminer/internal/remote"
 	"tpminer/internal/shard"
 )
 
@@ -107,6 +109,46 @@ func BenchmarkFig1aSharded(b *testing.B) {
 	for _, k := range []int{1, 2, 4, 8} {
 		co := shard.NewLocal(db, shard.New(db, k, 1))
 		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var patterns int
+			for i := 0; i < b.N; i++ {
+				rs, _, err := co.MineTemporal(ctx, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patterns = len(rs)
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+		})
+	}
+}
+
+// BenchmarkFig1aRemote — the Fig-1a temporal workload mined through
+// remote HTTP workers over loopback, against the in-process sharded run
+// as reference. Every iteration pays the full wire cost (JSON mine
+// requests and responses) but the shard push happens once per worker at
+// setup — the content-addressed cache makes re-pushes free, which is
+// what a warm production deployment sees. workers=N splits the shards
+// across N worker servers; the gap to shards=N in BenchmarkFig1aSharded
+// is the HTTP tax on this dataset.
+func BenchmarkFig1aRemote(b *testing.B) {
+	db := benchQuestDB(b, benchScale.DBSizes[len(benchScale.DBSizes)-1], benchScale.C)
+	opt := benchOpts(0.04)
+	ctx := context.Background()
+	const shards = 4
+	part := shard.New(db, shards, 1)
+	for _, nw := range []int{1, 2, 4} {
+		urls := make([]string, nw)
+		for i := range urls {
+			ts := httptest.NewServer(remote.NewWorkerServer(remote.WorkerConfig{}).Handler())
+			defer ts.Close()
+			urls[i] = ts.URL
+		}
+		pool := remote.NewPool(urls, remote.PoolConfig{
+			Registry: remote.RegistryConfig{ProbeInterval: -1},
+		})
+		defer pool.Close()
+		co := pool.Coordinator("bench", 1, db, part)
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
 			var patterns int
 			for i := 0; i < b.N; i++ {
 				rs, _, err := co.MineTemporal(ctx, opt)

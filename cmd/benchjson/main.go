@@ -3,7 +3,7 @@
 //
 //	go run ./cmd/benchjson -o BENCH_core.json -benchtime 20x
 //
-// Three benchmark groups are run:
+// Four benchmark groups are run:
 //
 //   - the Fig-1 paper-workload benchmarks at the repo root (Quick scale),
 //     compared against the committed pre-refactor baseline in
@@ -16,6 +16,10 @@
 //     GOMAXPROCS=NumCPU. shards=1 is gated against the unsharded
 //     reference (-min-shard-ratio) and, on multi-core machines only,
 //     shards≈NumCPU is gated against shards=1 (-min-sharded-speedup);
+//   - the Fig1aRemote benchmarks: the same sharded workload mined
+//     through remote HTTP worker servers over loopback at
+//     workers ∈ {1,2,4}, measuring the wire tax of distribution
+//     (recorded, not gated — loopback latency is not a deployment's);
 //   - the internal/core micro-benchmarks (projection, counting,
 //     scheduling), whose ParallelScheduling sub-benchmarks yield the
 //     work-stealing-vs-serial speedup on the current machine.
@@ -93,6 +97,15 @@ type report struct {
 	// the largest measured shard count ≤ NumCPU (≈1.0 on a single-core
 	// runner, where fan-out cannot help).
 	ShardedSpeedupAtNumCPU float64 `json:"sharded_speedup_at_numcpu,omitempty"`
+
+	// Remote holds the Fig1aRemote series — the sharded workload mined
+	// through remote HTTP worker servers over loopback — at
+	// GOMAXPROCS=NumCPU.
+	Remote []result `json:"remote"`
+	// RemoteOverheadVsSharded is in-process shards=4 ns/op divided by
+	// remote workers=1 ns/op: the fraction of sharded throughput left
+	// after the mine round-trips go through HTTP on loopback.
+	RemoteOverheadVsSharded float64 `json:"remote_overhead_vs_sharded,omitempty"`
 
 	// Micro holds the internal/core hot-path micro-benchmarks.
 	Micro []result `json:"micro"`
@@ -207,6 +220,21 @@ func run(args []string) error {
 		rep.ShardedSpeedupAtNumCPU = round2(shardNs[1] / shardNs[bestK])
 	}
 
+	remoteRes, err := runBench(".", "Fig1aRemote", *benchtime, numCPU)
+	if err != nil {
+		return err
+	}
+	rep.Remote = remoteRes
+	var remote1 float64
+	for _, r := range remoteRes {
+		if r.Name == "Fig1aRemote/workers=1" {
+			remote1 = r.NsPerOp
+		}
+	}
+	if shardNs[4] > 0 && remote1 > 0 {
+		rep.RemoteOverheadVsSharded = round2(shardNs[4] / remote1)
+	}
+
 	micro, err := runBench("./internal/core/", "ProjectTemporal|CountTemporal|ProjectCoinc|ParallelScheduling", "", 0)
 	if err != nil {
 		return err
@@ -246,7 +274,8 @@ func run(args []string) error {
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload, %d sharded, %d micro benchmarks", *out, len(rep.Workload), len(rep.Sharded), len(rep.Micro))
+	fmt.Printf("wrote %s (%d workload, %d sharded, %d remote, %d micro benchmarks",
+		*out, len(rep.Workload), len(rep.Sharded), len(rep.Remote), len(rep.Micro))
 	if rep.MinWorkloadSpeedup > 0 {
 		fmt.Printf("; min speedup vs %s: %.2fx overall, %.2fx on Fig-1a",
 			rep.BaselineCommit, rep.MinWorkloadSpeedup, rep.MinFig1aSpeedup)
@@ -254,6 +283,9 @@ func run(args []string) error {
 	if rep.ShardOverheadVsUnsharded > 0 {
 		fmt.Printf("; shards=1 at %.2fx of unsharded, %.2fx sharded speedup at %d cores",
 			rep.ShardOverheadVsUnsharded, rep.ShardedSpeedupAtNumCPU, numCPU)
+	}
+	if rep.RemoteOverheadVsSharded > 0 {
+		fmt.Printf("; remote workers=1 at %.2fx of in-process sharded", rep.RemoteOverheadVsSharded)
 	}
 	fmt.Println(")")
 

@@ -39,6 +39,19 @@
 // timings, fan-out counts, and partition skew appear as tpmd_shard_*
 // metrics.
 //
+// Distributed mining: -role=worker turns the process into a mining
+// worker — it serves only /v1/worker/* (shard push, mine, count,
+// health) and holds no datasets of its own. A -role=server process
+// given -workers=http://w1:9090,http://w2:9090 scatters the shards of
+// whole-dataset mines across those workers: each shard's sub-database
+// is pushed once per dataset version (content-addressed, gzip wire
+// encoding), mined remotely, and merged exactly as in-process sharding
+// would — an unreachable worker's shard is transparently re-mined
+// locally, so results, ETags, and cache keys never change. Worker
+// health is probed every -worker-probe-interval and reported on
+// GET /v1/readyz; per-dataset placement appears on
+// GET /v1/datasets/{name}/shards and traffic as tpmd_remote_* metrics.
+//
 // Complete mine/rules results are memoized in a byte-budgeted LRU and
 // concurrent identical requests collapse into one miner run
 // (single-flight); -cache-budget sizes the cache and -no-cache disables
@@ -100,6 +113,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served only by -pprof-addr
 	"os"
@@ -111,6 +125,7 @@ import (
 	"tpminer/internal/blob"
 	"tpminer/internal/obs"
 	"tpminer/internal/persist"
+	"tpminer/internal/remote"
 	"tpminer/internal/resilience"
 	"tpminer/internal/server"
 )
@@ -119,6 +134,43 @@ func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tpmd:", err)
 		os.Exit(1)
+	}
+}
+
+// runWorker serves the worker role: the /v1/worker/* surface (shard
+// push, mine, count, health, metrics) with the same graceful drain as
+// the server role. Workers hold only pushed shard payloads — all state
+// is re-pushable — so a worker restart costs one re-push per shard,
+// never data.
+func runWorker(addr string, mineTimeout, grace time.Duration, logger *slog.Logger) error {
+	ws := remote.NewWorkerServer(remote.WorkerConfig{Logger: logger, MineTimeout: mineTimeout})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           ws.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("worker listening", "addr", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Info("signal received, draining worker requests", "grace", grace.String())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logger.Info("worker drained, exiting")
+		return nil
 	}
 }
 
@@ -144,6 +196,9 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "weighted persistence-failure score that trips the breaker into read-only mode (0 = default)")
 	faultProfile := fs.String("fault-profile", "", "DEV ONLY: inject persistence faults, e.g. 'wal_write:eio:0.1,snapshot_sync:latency:0.5:20ms'")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the -fault-profile randomness (deterministic per seed)")
+	role := fs.String("role", "server", "process role: server (the full API) or worker (a mining worker serving /v1/worker/*)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs to distribute shard mining across, e.g. http://w1:9090,http://w2:9090 (server role only)")
+	workerProbe := fs.Duration("worker-probe-interval", 0, "worker health-probe cadence (0 = built-in default)")
 	shards := fs.Int("shards", 0, "mining shards per dataset (0 = GOMAXPROCS, 1 = unsharded); results are identical either way")
 	shardMinSeqs := fs.Int("shard-min-seqs", server.DefaultShardMinSeqs, "minimum average sequences per shard; caps the shard count on small datasets")
 	ingestFlushCount := fs.Int("ingest-flush-count", server.DefaultIngestFlushCount, "buffered ingest events that trigger an inline flush into a versioned append")
@@ -170,6 +225,19 @@ func run(args []string) error {
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		return err
+	}
+	switch *role {
+	case "server":
+	case "worker":
+		return runWorker(*addr, *mineTimeout, *grace, logger)
+	default:
+		return fmt.Errorf("-role: unknown role %q (want server or worker)", *role)
+	}
+	var workerList []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerList = append(workerList, w)
+		}
 	}
 	budget := *cacheBudget
 	if *noCache || budget <= 0 {
@@ -235,6 +303,8 @@ func run(args []string) error {
 		JobDebounce:             *jobDebounce,
 		SSESubscriberQueue:      *sseQueue,
 		SSEHeartbeat:            *sseHeartbeat,
+		Workers:                 workerList,
+		WorkerProbeInterval:     *workerProbe,
 	})
 	// Stop the background recovery prober before the persist store is
 	// closed underneath it.

@@ -1,0 +1,61 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/resilience"
+	"tpminer/internal/shard"
+	"tpminer/internal/shard/workertest"
+)
+
+// fastRetry retries instantly so failure-path tests don't sleep.
+var fastRetry = resilience.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+
+// newLoopbackWorker spins up a WorkerServer over HTTP and returns a
+// client for the given shard database.
+func newLoopbackWorker(t *testing.T, db *interval.Database) *RemoteWorker {
+	t.Helper()
+	ws := NewWorkerServer(WorkerConfig{})
+	ts := httptest.NewServer(ws.Handler())
+	t.Cleanup(ts.Close)
+	data := NewShardData(ShardKey{Dataset: "conf", Version: 1, Shard: 0}, db)
+	return NewRemoteWorker(ts.URL, data, ClientOptions{Retry: fastRetry})
+}
+
+// TestRemoteWorkerConformance runs the shared Worker contract suite
+// against the HTTP transport end to end (push, mine, count over a real
+// loopback server).
+func TestRemoteWorkerConformance(t *testing.T) {
+	workertest.Run(t, workertest.Factory{
+		New: func(t *testing.T, db *interval.Database) shard.Worker {
+			return newLoopbackWorker(t, db)
+		},
+	})
+}
+
+// TestInstrumentedWorkerConformance proves the metrics decorator is
+// semantically transparent.
+func TestInstrumentedWorkerConformance(t *testing.T) {
+	workertest.Run(t, workertest.Factory{
+		New: func(t *testing.T, db *interval.Database) shard.Worker {
+			return Instrument(shard.NewLocalWorker(db), nil)
+		},
+	})
+}
+
+// TestFailoverWorkerConformance proves the failover wrapper is exact
+// even when the primary is permanently unreachable: every call lands on
+// the local fallback and the contract holds unchanged.
+func TestFailoverWorkerConformance(t *testing.T) {
+	workertest.Run(t, workertest.Factory{
+		New: func(t *testing.T, db *interval.Database) shard.Worker {
+			dead := NewRemoteWorker("http://127.0.0.1:1", // reserved port: connection refused
+				NewShardData(ShardKey{Dataset: "conf", Version: 1, Shard: 0}, db),
+				ClientOptions{Retry: fastRetry})
+			return &Failover{Primary: dead, Fallback: shard.NewLocalWorker(db)}
+		},
+	})
+}

@@ -1,0 +1,139 @@
+// Package remote implements shard.Worker over HTTP: a worker role that
+// caches pushed shard databases and mines them on request, a client that
+// speaks to it with per-call timeouts and transient-error retry, a
+// registry that tracks worker health, and an exact failover path that
+// re-mines an unreachable worker's shard on an in-process LocalWorker.
+//
+// Exactness argument: the unit of distribution is the shard database,
+// pushed verbatim (content-addressed by dataset, version, and shard
+// index) before any mining request touches it. A worker therefore
+// computes exactly what a LocalWorker over the same sub-database would
+// compute, and the coordinator's merge — which is already proven
+// byte-identical to serial mining for local workers — cannot tell the
+// difference. Failover re-runs the same request on a LocalWorker over
+// the same sub-database, so a mid-mine worker loss changes latency, not
+// results.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"time"
+
+	"tpminer/internal/resilience"
+)
+
+// RPC operation names, used in errors, metrics labels, and fault
+// injection schedules.
+const (
+	OpMine  = "mine"
+	OpCount = "count"
+	OpPush  = "push"
+	OpProbe = "probe"
+)
+
+// ShardKey content-addresses one shard of one dataset version. Store
+// versions are monotone, so a key names immutable bytes: a worker that
+// has (dataset, version, shard) cached never needs a re-push.
+type ShardKey struct {
+	Dataset string `json:"dataset"`
+	Version uint64 `json:"version"`
+	Shard   int    `json:"shard"`
+}
+
+func (k ShardKey) String() string {
+	return fmt.Sprintf("%s@v%d/%d", k.Dataset, k.Version, k.Shard)
+}
+
+// path is the worker-side resource path for the shard payload.
+func (k ShardKey) path() string {
+	return fmt.Sprintf("/v1/worker/shards/%s/%d/%d", url.PathEscape(k.Dataset), k.Version, k.Shard)
+}
+
+// RPCError wraps a failed worker RPC with enough context to diagnose it
+// (operation, worker address, HTTP status and error code when the worker
+// answered at all) and to classify it: Unavailable reports whether the
+// failure indicts the worker rather than the request.
+type RPCError struct {
+	Op     string // mine, count, push, probe
+	Worker string // base URL
+	Status int    // HTTP status, 0 when no response arrived
+	Code   string // worker error-envelope code, "" when none
+	Err    error
+
+	// permanent marks failures the retry policy must not retry (4xx,
+	// unmarshalable requests); resilience.Classify sees it via Is.
+	permanent bool
+}
+
+// Is classifies permanent RPC failures for resilience.Classify without
+// polluting the error chain or message.
+func (e *RPCError) Is(target error) bool {
+	return e.permanent && target == resilience.ErrPermanent
+}
+
+func (e *RPCError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("remote: %s on %s: HTTP %d (%s): %v", e.Op, e.Worker, e.Status, e.Code, e.Err)
+	}
+	return fmt.Sprintf("remote: %s on %s: %v", e.Op, e.Worker, e.Err)
+}
+
+func (e *RPCError) Unwrap() error { return e.Err }
+
+// Unavailable reports whether the failure means the worker (or the
+// network to it) is unusable — no response, or a 5xx — as opposed to the
+// request itself being rejected (4xx). Unavailable failures are the ones
+// failover may re-mine locally: the same request on a local worker would
+// not reproduce the error.
+func (e *RPCError) Unavailable() bool {
+	if e.permanent {
+		return false
+	}
+	return e.Status == 0 || e.Status >= 500 || (e.Status == 404 && e.Code == codeShardNotLoaded)
+}
+
+// IsUnavailable reports whether err (at any wrap depth) is an RPC
+// failure that indicts the worker, the trigger condition for failover.
+func IsUnavailable(err error) bool {
+	var re *RPCError
+	return errors.As(err, &re) && re.Unavailable()
+}
+
+// Metrics receives client-side instrumentation events. Implementations
+// must be safe for concurrent use; a nil Metrics disables them (see
+// nopMetrics).
+type Metrics interface {
+	// RPC records one completed worker call (after retries).
+	RPC(op string, d time.Duration, err error)
+	// Bytes records wire bytes moved for one call; dir is "sent" or
+	// "received".
+	Bytes(op, dir string, n int64)
+	// Retry records one retry of a transient RPC failure.
+	Retry(op string)
+	// Failover records one shard re-mined on the local fallback.
+	Failover()
+	// WorkerUp reports the registry's current healthy/total counts.
+	WorkerUp(healthy, total int)
+	// ShardPush records one completed shard push of n compressed bytes.
+	ShardPush(n int64)
+}
+
+// nopMetrics is the nil-object Metrics.
+type nopMetrics struct{}
+
+func (nopMetrics) RPC(string, time.Duration, error) {}
+func (nopMetrics) Bytes(string, string, int64)      {}
+func (nopMetrics) Retry(string)                     {}
+func (nopMetrics) Failover()                        {}
+func (nopMetrics) WorkerUp(int, int)                {}
+func (nopMetrics) ShardPush(int64)                  {}
+
+// metricsOrNop never returns nil, so call sites skip the nil checks.
+func metricsOrNop(m Metrics) Metrics {
+	if m == nil {
+		return nopMetrics{}
+	}
+	return m
+}

@@ -1,0 +1,157 @@
+package remote
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/persist"
+	"tpminer/internal/shard"
+)
+
+// The wire protocol. Mine and count requests are JSON — patterns,
+// supports, and stats are strings, ints, and bools, all of which
+// round-trip encoding/json exactly, so a remote mine merges to the same
+// bytes as a local one. Shard payloads are the WAL's varint database
+// codec, gzipped: shard pushes dominate wire volume, and the binary
+// codec is both far smaller than JSON and already round-trip-tested by
+// the persistence suite.
+
+// shardDigestHeader carries the hex SHA-256 of the *uncompressed* shard
+// encoding on a push, so a worker detects corruption (or a codec
+// mismatch) before caching bad bytes under a content address.
+const shardDigestHeader = "X-Shard-Digest"
+
+// mineWire is the body of POST /v1/worker/mine.
+type mineWire struct {
+	Key ShardKey `json:"key"`
+	// Shard echoes MineShardRequest.Shard: the coordinator's shard index,
+	// reproduced in the worker's responses and error attributions. It can
+	// differ from Key.Shard only in hand-built requests; the client always
+	// sends them equal.
+	Shard int        `json:"shard"`
+	Kind  shard.Kind `json:"kind"`
+	TopK  int        `json:"topk,omitempty"`
+	Opt   core.Options `json:"opt"`
+	// TimeoutMillis is the client's remaining deadline budget; the worker
+	// bounds its mine by it so an abandoned request cannot hold the shard
+	// hostage even if the connection teardown is slow to propagate.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// mineRespWire is the body of a successful mine response.
+type mineRespWire struct {
+	Temporal []pattern.TemporalResult `json:"temporal,omitempty"`
+	Coinc    []pattern.CoincResult    `json:"coinc,omitempty"`
+	Stats    core.Stats               `json:"stats"`
+}
+
+// countWire is the body of POST /v1/worker/count.
+type countWire struct {
+	Key      ShardKey           `json:"key"`
+	Shard    int                `json:"shard"`
+	Kind     shard.Kind         `json:"kind"`
+	Temporal []pattern.Temporal `json:"temporal,omitempty"`
+	Coinc    []pattern.Coinc    `json:"coinc,omitempty"`
+	MaxSpan  interval.Time      `json:"max_span,omitempty"`
+	MaxGap   interval.Time      `json:"max_gap,omitempty"`
+}
+
+// countRespWire is the body of a successful count response.
+type countRespWire struct {
+	Supports []int `json:"supports"`
+}
+
+// errWire mirrors the main server's uniform error envelope.
+type errWire struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Worker-side error codes the client dispatches on.
+const (
+	codeShardNotLoaded = "shard_not_loaded"
+	codeBadRequest     = "invalid_request"
+	codeBadPayload     = "invalid_shard_payload"
+	codeMineFailed     = "mine_failed"
+	codeMineTimeout    = "mine_timeout"
+)
+
+// ShardData is one shard's push payload, encoded lazily and exactly
+// once: the coordinator builds a ShardData per (dataset, version, shard)
+// and every worker client pushing that shard shares it.
+type ShardData struct {
+	Key ShardKey
+	DB  *interval.Database
+
+	once    sync.Once
+	payload []byte // gzip(EncodeDatabase)
+	digest  string // hex SHA-256 of the uncompressed encoding
+	err     error
+}
+
+// NewShardData wraps one shard sub-database for pushing. db must be
+// treated as immutable (the store's copy-on-write contract).
+func NewShardData(key ShardKey, db *interval.Database) *ShardData {
+	return &ShardData{Key: key, DB: db}
+}
+
+// Encode returns the compressed payload and the digest of its
+// uncompressed form, building both on first call.
+func (d *ShardData) Encode() (payload []byte, digest string, err error) {
+	d.once.Do(func() {
+		raw := persist.EncodeDatabase(nil, d.DB)
+		sum := sha256.Sum256(raw)
+		d.digest = hex.EncodeToString(sum[:])
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			d.err = fmt.Errorf("remote: compress shard %s: %w", d.Key, err)
+			return
+		}
+		if err := zw.Close(); err != nil {
+			d.err = fmt.Errorf("remote: compress shard %s: %w", d.Key, err)
+			return
+		}
+		d.payload = buf.Bytes()
+	})
+	return d.payload, d.digest, d.err
+}
+
+// decodeShardPayload inflates and decodes one pushed shard body,
+// verifying the declared digest. maxBytes bounds the inflated size so a
+// hostile or corrupt payload cannot balloon worker memory.
+func decodeShardPayload(r io.Reader, wantDigest string, maxBytes int64) (*interval.Database, int64, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: shard payload is not gzip: %w", err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(io.LimitReader(zr, maxBytes+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: inflate shard payload: %w", err)
+	}
+	if int64(len(raw)) > maxBytes {
+		return nil, 0, fmt.Errorf("remote: shard payload exceeds %d bytes inflated", maxBytes)
+	}
+	if wantDigest != "" {
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != wantDigest {
+			return nil, 0, fmt.Errorf("remote: shard digest mismatch: got %s, want %s", got, wantDigest)
+		}
+	}
+	db, err := persist.DecodeDatabase(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db, int64(len(raw)), nil
+}

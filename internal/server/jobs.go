@@ -36,8 +36,9 @@ func (jr jobRunner) RunJob(ctx context.Context, spec api.JobSpec) (jobs.RunOutpu
 	// a client's own mine (or vice versa) is a cache hit, not a re-mine.
 	key := cache.Key{Dataset: spec.Dataset, Version: ver, Options: spec.Mine.ResultOptions()}
 	wdb, wpart := s.windowed(db, part, spec.Mine.Window)
+	tgt := mineTarget{db: wdb, part: wpart, name: spec.Dataset, ver: ver, whole: wdb == db}
 	compute := func() (any, int64, bool, error) {
-		resp, complete, err := s.runMine(ctx, wdb, wpart, spec.Dataset, mode, spec.Mine)
+		resp, complete, err := s.runMine(ctx, tgt, mode, spec.Mine)
 		if err != nil {
 			return nil, 0, false, err
 		}

@@ -41,6 +41,11 @@ import (
 //     duration, the most recent partition's load-skew ratio, and
 //     patterns merged / support-completed at the coordinator. All zero
 //     when datasets hold a single shard.
+//   - tpmd_remote_*: the distributed deployment — worker RPCs by
+//     operation and outcome with latency, wire bytes by direction,
+//     retries, local failovers, registry health (healthy vs configured
+//     workers), and shard pushes with their compressed bytes. All zero
+//     when the server runs without -workers.
 //   - tpmd_job_* / tpmd_sse_*: continuous mining — resident job count,
 //     runs by outcome and their duration, delta events published, live
 //     SSE subscribers, events fanned out to them, and slow consumers
@@ -74,6 +79,7 @@ type serverMetrics struct {
 	persist    *persistMetrics
 	resilience *resilienceMetrics
 	shard      *shardMetrics
+	remote     *remoteMetrics
 	jobs       *jobsMetrics
 
 	ingestEvents   *obs.Counter
@@ -134,6 +140,41 @@ func (m *shardMetrics) ShardDone(shard int, d time.Duration) {
 func (m *shardMetrics) Merged(patterns, counted int) {
 	m.merged.Add(uint64(patterns))
 	m.counted.Add(uint64(counted))
+}
+
+// remoteMetrics adapts the obs registry to the remote.Metrics interface;
+// the worker-pool client calls it per RPC, retry, and failover. All
+// zero when the server runs without -workers.
+type remoteMetrics struct {
+	rpcs        *obs.CounterVec // op, outcome
+	rpcDur      *obs.HistogramVec
+	bytes       *obs.CounterVec // op, dir
+	retries     *obs.CounterVec // op
+	failovers   *obs.Counter
+	workerUp    *obs.Gauge
+	workerTotal *obs.Gauge
+	pushes      *obs.Counter
+	pushBytes   *obs.Counter
+}
+
+func (m *remoteMetrics) RPC(op string, d time.Duration, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	m.rpcs.With(op, outcome).Inc()
+	m.rpcDur.With(op).Observe(d.Seconds())
+}
+func (m *remoteMetrics) Bytes(op, dir string, n int64) { m.bytes.With(op, dir).Add(uint64(n)) }
+func (m *remoteMetrics) Retry(op string)               { m.retries.With(op).Inc() }
+func (m *remoteMetrics) Failover()                     { m.failovers.Inc() }
+func (m *remoteMetrics) WorkerUp(healthy, total int) {
+	m.workerUp.Set(int64(healthy))
+	m.workerTotal.Set(int64(total))
+}
+func (m *remoteMetrics) ShardPush(n int64) {
+	m.pushes.Inc()
+	m.pushBytes.Add(uint64(n))
 }
 
 // resilienceMetrics covers the fault-handling layer: retrying persistence
@@ -311,6 +352,26 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			counted: reg.NewCounter("tpmd_shard_counted_patterns_total",
 				"Patterns whose support was completed via a per-shard Count round because some shard missed them locally."),
 		},
+		remote: &remoteMetrics{
+			rpcs: reg.NewCounterVec("tpmd_remote_rpcs_total",
+				"Remote worker RPCs completed (after retries), by operation and outcome.", "op", "outcome"),
+			rpcDur: reg.NewHistogramVec("tpmd_remote_rpc_duration_seconds",
+				"Remote worker RPC wall time (including retries within one call), by operation.", nil, "op"),
+			bytes: reg.NewCounterVec("tpmd_remote_bytes_total",
+				"Wire bytes moved to/from remote workers, by operation and direction.", "op", "dir"),
+			retries: reg.NewCounterVec("tpmd_remote_retries_total",
+				"Remote RPC attempts retried after a transient failure, by operation.", "op"),
+			failovers: reg.NewCounter("tpmd_remote_failovers_total",
+				"Shards re-mined on the in-process fallback after their remote worker became unavailable."),
+			workerUp: reg.NewGauge("tpmd_remote_worker_up",
+				"Remote workers currently considered healthy by the registry."),
+			workerTotal: reg.NewGauge("tpmd_remote_worker_total",
+				"Remote workers configured via -workers."),
+			pushes: reg.NewCounter("tpmd_remote_shard_pushes_total",
+				"Shard payloads pushed to remote workers (one per worker x dataset version x shard)."),
+			pushBytes: reg.NewCounter("tpmd_remote_shard_push_bytes_total",
+				"Compressed shard payload bytes pushed to remote workers."),
+		},
 		jobs: &jobsMetrics{
 			count: reg.NewGauge("tpmd_job_count",
 				"Continuous-mining jobs currently resident."),
@@ -378,7 +439,7 @@ func routeLabel(r *http.Request) string {
 	if rest, ok := strings.CutPrefix(p, "/datasets/"); ok {
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
 			switch suffix := rest[i:]; suffix {
-			case "/mine", "/rules", "/append", "/events":
+			case "/mine", "/rules", "/append", "/events", "/shards":
 				return "/datasets/{name}" + suffix
 			}
 			return "other"

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpminer/internal/remote"
+)
+
+// elapsedRE matches the one measured-not-computed field in a mine
+// response. Everything else in a sharded response is deterministic, so
+// the local-vs-remote byte comparison normalizes exactly this and
+// nothing more.
+var elapsedRE = regexp.MustCompile(`"elapsed_ms":\d+`)
+
+func normalizeElapsed(body string) string {
+	return elapsedRE.ReplaceAllString(body, `"elapsed_ms":0`)
+}
+
+// statsRE matches the whole stats object. Serial and sharded mining do
+// different amounts of search work (nodes, scans, prunings), so
+// serial-vs-sharded comparisons normalize the work counters while still
+// comparing every pattern, support, and ordering byte.
+var statsRE = regexp.MustCompile(`"stats":\{[^}]*\}`)
+
+func normalizeStats(body string) string {
+	return statsRE.ReplaceAllString(body, `"stats":{}`)
+}
+
+// mineKiller drops the TCP connection of every mine request while
+// armed — a worker process dying mid-request, as seen by the client.
+type mineKiller struct {
+	inner http.Handler
+	kill  atomic.Bool
+}
+
+func (h *mineKiller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.kill.Load() && strings.HasSuffix(r.URL.Path, "/mine") {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close()
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestRemoteMineMatchesLocal is the acceptance test for distributed
+// mining: a dataset mined through two remote HTTP worker processes must
+// be byte-identical (after normalizing elapsed wall time) to both the
+// in-process sharded server and the serial one — including when one
+// worker is killed mid-request and its shard fails over — with no
+// goroutines leaked.
+func TestRemoteMineMatchesLocal(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var killer *mineKiller
+	var workerURLs []string
+	var workerTS []*httptest.Server
+	for i := 0; i < 2; i++ {
+		var h http.Handler = remote.NewWorkerServer(remote.WorkerConfig{}).Handler()
+		if i == 0 {
+			killer = &mineKiller{inner: h}
+			h = killer
+		}
+		ws := httptest.NewServer(h)
+		workerTS = append(workerTS, ws)
+		workerURLs = append(workerURLs, ws.URL)
+	}
+
+	base := Config{MaxConcurrentMines: 32, Shards: 4, ShardMinSeqs: 1}
+	serial := NewWithConfig(nil, Config{MaxConcurrentMines: 32, Shards: 1})
+	local := NewWithConfig(nil, base)
+	remoteCfg := base
+	remoteCfg.Workers = workerURLs
+	remoteCfg.WorkerProbeInterval = -time.Second // no background probe: health changes only via RPC outcomes
+	remoteSrv := NewWithConfig(nil, remoteCfg)
+
+	tsSerial := httptest.NewServer(serial.Handler())
+	tsLocal := httptest.NewServer(local.Handler())
+	tsRemote := httptest.NewServer(remoteSrv.Handler())
+
+	csv := shardedCSV()
+	for _, ts := range []*httptest.Server{tsSerial, tsLocal, tsRemote} {
+		if resp, body := do(t, "PUT", ts.URL+"/v1/datasets/d", "text/csv", csv); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("put: %d %q", resp.StatusCode, body)
+		}
+	}
+	if _, part, _, ok := remoteSrv.store.snapshot("d"); !ok || part.NumShards() < 2 {
+		t.Fatal("remote server did not shard the dataset; test is vacuous")
+	}
+
+	// readyz reports the full pool before anything has failed.
+	if resp, body := do(t, "GET", tsRemote.URL+"/v1/readyz", "", ""); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"healthy":2`) || !strings.Contains(body, `"total":2`) {
+		t.Errorf("readyz before faults: %d %q, want 200 with healthy 2/2", resp.StatusCode, body)
+	}
+
+	requests := []struct{ path, body string }{
+		{"/v1/datasets/d/mine", `{"min_count":3}`},
+		{"/v1/datasets/d/mine", `{"min_count":2,"max_span":20,"max_gap":10}`},
+		{"/v1/datasets/d/mine", `{"min_count":2,"top_k":10}`},
+		{"/v1/datasets/d/mine", `{"type":"coincidence","min_count":3}`},
+		{"/v1/datasets/d/mine", `{"mode":"rules","min_count":2,"min_confidence":0.2}`},
+	}
+	compare := func(rq struct{ path, body string }) {
+		t.Helper()
+		respS, bodyS := do(t, "POST", tsSerial.URL+rq.path, "application/json", rq.body)
+		respL, bodyL := do(t, "POST", tsLocal.URL+rq.path, "application/json", rq.body)
+		respR, bodyR := do(t, "POST", tsRemote.URL+rq.path, "application/json", rq.body)
+		if respS.StatusCode != http.StatusOK || respL.StatusCode != http.StatusOK || respR.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s: serial %d, local %d, remote %d (%q)", rq.path, rq.body,
+				respS.StatusCode, respL.StatusCode, respR.StatusCode, bodyR)
+		}
+		etagS, etagL, etagR := respS.Header.Get("ETag"), respL.Header.Get("ETag"), respR.Header.Get("ETag")
+		if etagS == "" || etagS != etagL || etagS != etagR {
+			t.Errorf("%s %s: ETag mismatch: serial %q, local %q, remote %q", rq.path, rq.body, etagS, etagL, etagR)
+		}
+		bodyS, bodyL, bodyR = normalizeElapsed(bodyS), normalizeElapsed(bodyL), normalizeElapsed(bodyR)
+		// Remote workers must be invisible: byte-for-byte the in-process
+		// sharded response.
+		if bodyL != bodyR {
+			t.Errorf("%s %s: remote differs from local sharded:\nlocal:  %s\nremote: %s", rq.path, rq.body, bodyL, bodyR)
+		}
+		// And sharding (either kind) preserves every pattern byte of the
+		// serial answer; only the search-work counters may differ.
+		if ns, nr := normalizeStats(bodyS), normalizeStats(bodyR); ns != nr {
+			t.Errorf("%s %s: remote differs from serial:\nserial: %s\nremote: %s", rq.path, rq.body, ns, nr)
+		}
+		if !strings.Contains(bodyS, `"support":`) && !strings.Contains(bodyS, `"confidence"`) {
+			t.Fatalf("%s %s: serial body has no results; test is vacuous: %s", rq.path, rq.body, bodyS)
+		}
+	}
+	for _, rq := range requests {
+		compare(rq)
+	}
+
+	// The shards debug endpoint shows the placement and push state the
+	// mines above created.
+	{
+		resp, body := do(t, "GET", tsRemote.URL+"/v1/datasets/d/shards", "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shards endpoint: %d %q", resp.StatusCode, body)
+		}
+		var layout ShardLayout
+		if err := json.Unmarshal([]byte(body), &layout); err != nil {
+			t.Fatalf("shards body: %v (%q)", err, body)
+		}
+		if layout.Dataset != "d" || len(layout.Shards) < 2 || layout.Skew < 1 {
+			t.Fatalf("shards layout: %+v", layout)
+		}
+		for _, sh := range layout.Shards {
+			if sh.Worker != workerURLs[sh.ID%len(workerURLs)] {
+				t.Errorf("shard %d assigned %q, want %q", sh.ID, sh.Worker, workerURLs[sh.ID%len(workerURLs)])
+			}
+			if !sh.Pushed {
+				t.Errorf("shard %d not pushed after mining", sh.ID)
+			}
+			if sh.Sequences == 0 || sh.Load == 0 {
+				t.Errorf("shard %d has empty layout row: %+v", sh.ID, sh)
+			}
+		}
+		if layout.Workers == nil || layout.Workers.Healthy != 2 {
+			t.Errorf("shards layout workers: %+v, want 2 healthy", layout.Workers)
+		}
+	}
+
+	// Kill worker 0 mid-mine: fresh options miss every cache, the dying
+	// worker's shards fail over to local re-mining, and the response must
+	// still be byte-identical to the serial server's.
+	killer.kill.Store(true)
+	compare(struct{ path, body string }{"/v1/datasets/d/mine", `{"min_count":4}`})
+	compare(struct{ path, body string }{"/v1/datasets/d/mine", `{"type":"coincidence","min_count":4}`})
+
+	// The failover is observable: metrics count it, and readyz demotes
+	// the dead worker.
+	_, metrics := do(t, "GET", tsRemote.URL+"/v1/metrics", "", "")
+	for _, want := range []string{"tpmd_remote_rpcs_total", "tpmd_remote_shard_pushes_total", "tpmd_remote_failovers_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	if strings.Contains(metrics, "tpmd_remote_failovers_total 0") {
+		t.Error("tpmd_remote_failovers_total is 0 after a worker died mid-mine")
+	}
+	if !strings.Contains(metrics, "tpmd_remote_worker_up 1") {
+		t.Error("tpmd_remote_worker_up did not drop to 1 after the failover")
+	}
+	if resp, body := do(t, "GET", tsRemote.URL+"/v1/readyz", "", ""); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"healthy":1`) {
+		t.Errorf("readyz after failover: %d %q, want 200 with 1 healthy worker", resp.StatusCode, body)
+	}
+
+	// A clean shutdown leaks nothing: close every server and wait for the
+	// goroutine count to settle back.
+	tsSerial.Close()
+	tsLocal.Close()
+	tsRemote.Close()
+	serial.Close()
+	local.Close()
+	remoteSrv.Close()
+	for _, ws := range workerTS {
+		ws.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

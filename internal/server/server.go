@@ -160,6 +160,7 @@ import (
 	"tpminer/internal/obs"
 	"tpminer/internal/pattern"
 	"tpminer/internal/persist"
+	"tpminer/internal/remote"
 	"tpminer/internal/rules"
 	"tpminer/internal/shard"
 )
@@ -273,6 +274,17 @@ type Config struct {
 	// SSEHeartbeat is the idle-comment cadence on job event streams. 0
 	// means DefaultSSEHeartbeat.
 	SSEHeartbeat time.Duration
+
+	// Workers lists remote worker base URLs ("http://host:9090"). When
+	// set, whole-dataset mines of multi-shard datasets scatter their
+	// shards across these processes (with exact local failover); empty
+	// keeps all mining in-process.
+	Workers []string
+
+	// WorkerProbeInterval is the worker health-probe cadence. 0 means
+	// remote.DefaultProbeInterval; negative disables background probing
+	// (workers are still demoted on failed RPCs).
+	WorkerProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -340,6 +352,10 @@ type Server struct {
 	// them as versioned appends (by count or by age).
 	ingest *ingestPool
 
+	// pool owns the remote worker fleet (registry, push tracker, health
+	// probes) when cfg.Workers is set. nil means all-local mining.
+	pool *remote.Pool
+
 	// mineSem bounds concurrent mining jobs. Admission is deadline-
 	// aware: a request parks only while a slot could still free up
 	// before its deadline, and is shed with 429 otherwise.
@@ -404,6 +420,13 @@ func NewWithConfig(logger *slog.Logger, cfg Config) *Server {
 			s.results.SetDegraded(s.journal.degraded)
 		}
 	}
+	if len(cfg.Workers) > 0 {
+		s.pool = remote.NewPool(cfg.Workers, remote.PoolConfig{
+			Registry: remote.RegistryConfig{ProbeInterval: cfg.WorkerProbeInterval},
+			Logger:   logger,
+			Metrics:  met.remote,
+		})
+	}
 	s.ingest = &ingestPool{s: s, batchers: make(map[string]*ingestBatcher)}
 	jm, err := jobs.New(jobs.Config{
 		Runner:    jobRunner{s},
@@ -444,6 +467,9 @@ func (s *Server) Close() {
 	}
 	if s.journal != nil {
 		s.journal.close()
+	}
+	if s.pool != nil {
+		s.pool.Close()
 	}
 }
 
@@ -486,6 +512,7 @@ var routeTable = []RouteInfo{
 	{Method: "DELETE", Pattern: "/datasets/{name}", Summary: "delete a dataset"},
 	{Method: "POST", Pattern: "/datasets/{name}/append", Summary: "append sequences (same body formats as PUT)"},
 	{Method: "POST", Pattern: "/datasets/{name}/events", Summary: "stream NDJSON event intervals; batched into versioned appends", V1Only: true},
+	{Method: "GET", Pattern: "/datasets/{name}/shards", Summary: "shard layout: per-shard load, skew, assigned worker, push state", V1Only: true},
 	{Method: "POST", Pattern: "/datasets/{name}/mine", Summary: "mine patterns; mode temporal, coincidence, or rules (ETag, 304)"},
 	{Method: "POST", Pattern: "/datasets/{name}/rules", Summary: "mine association rules", Deprecated: true, Successor: "POST /v1/datasets/{name}/mine"},
 	{Method: "POST", Pattern: "/jobs", Summary: "create a continuous-mining job", V1Only: true},
@@ -533,6 +560,7 @@ func (s *Server) Handler() http.Handler {
 		"DELETE /datasets/{name}":      s.handleDelete,
 		"POST /datasets/{name}/append": s.handleAppend,
 		"POST /datasets/{name}/events": s.handleIngest,
+		"GET /datasets/{name}/shards":  s.handleShards,
 		"POST /datasets/{name}/mine":   s.handleMine,
 		"POST /datasets/{name}/rules":  s.handleRules,
 		"POST /jobs":                   s.handleJobCreate,
@@ -813,13 +841,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // balancers can steer mutation traffic away (reads still work; the
 // Retry-After hint says when to re-check), 200 otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ready", "mode": "read_write"}
+	if s.pool != nil {
+		// Worker health is informational: mining fails over to local
+		// computation, so a thin (or empty) pool never flips readiness.
+		body["workers"] = s.pool.Status()
+	}
 	if s.degraded() {
 		w.Header().Set("Retry-After", strconv.Itoa(s.degradedRetryAfterSeconds()))
-		s.writeJSON(w, http.StatusServiceUnavailable,
-			map[string]string{"status": "degraded", "mode": "read_only"})
+		body["status"], body["mode"] = "degraded", "read_only"
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "mode": "read_write"})
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // DatasetSummary is the wire form of GET /v1/datasets and
@@ -835,6 +869,63 @@ type DatasetSummary struct {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	out := s.store.list()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// ShardInfo is one shard's row in the GET /v1/datasets/{name}/shards
+// debug view: its slice of the partition and, under a worker pool, the
+// worker the next mine would send it to and whether that worker already
+// holds this dataset version's payload.
+type ShardInfo struct {
+	ID        int    `json:"id"`
+	Sequences int    `json:"sequences"`
+	Load      int64  `json:"load"`
+	Worker    string `json:"worker"`
+	Pushed    bool   `json:"pushed,omitempty"`
+}
+
+// ShardLayout is the wire form of GET /v1/datasets/{name}/shards.
+type ShardLayout struct {
+	Dataset string      `json:"dataset"`
+	Version uint64      `json:"version"`
+	Skew    float64     `json:"skew"`
+	Shards  []ShardInfo `json:"shards"`
+	// Workers reports pool membership; absent without -workers.
+	Workers *remote.PoolStatus `json:"workers,omitempty"`
+}
+
+// handleShards serves the partition layout of one dataset — the
+// operator's view for answering "why is this mine slow / which machine
+// owns shard 3 / has the new version been pushed yet".
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	_, part, ver, ok := s.store.snapshot(name)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	out := ShardLayout{Dataset: name, Version: ver}
+	if part != nil {
+		out.Skew = part.Skew()
+		var placements []remote.ShardPlacement
+		if s.pool != nil && part.NumShards() >= 2 {
+			// Single-shard datasets mine serially and never fan out, so
+			// their one shard is always "local" regardless of the pool.
+			placements = s.pool.Placements(name, ver, part.NumShards())
+		}
+		for i := 0; i < part.NumShards(); i++ {
+			si := ShardInfo{ID: i, Sequences: len(part.Seqs(i)), Load: part.Load(i), Worker: "local"}
+			if placements != nil {
+				si.Worker = placements[i].Worker
+				si.Pushed = placements[i].Pushed
+			}
+			out.Shards = append(out.Shards, si)
+		}
+	}
+	if s.pool != nil {
+		st := s.pool.Status()
+		out.Workers = &st
+	}
 	s.writeJSON(w, http.StatusOK, out)
 }
 
@@ -1358,15 +1449,16 @@ func (s *Server) serveMineFamily(w http.ResponseWriter, r *http.Request, rulesRo
 	}
 
 	wdb, wpart := s.windowed(db, part, spec.Window)
+	tgt := mineTarget{db: wdb, part: wpart, name: name, ver: ver, whole: wdb == db}
 	compute := func() (any, int64, bool, error) {
 		if mode == api.ModeRules {
-			out, err := s.runRules(r.Context(), wdb, wpart, spec)
+			out, err := s.runRules(r.Context(), tgt, spec)
 			if err != nil {
 				return nil, 0, false, err
 			}
 			return out, approxJSONSize(out), true, nil
 		}
-		resp, complete, err := s.runMine(r.Context(), wdb, wpart, name, mode, spec)
+		resp, complete, err := s.runMine(r.Context(), tgt, mode, spec)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -1444,16 +1536,37 @@ func windowDatabase(db *interval.Database, win api.WindowSpec) *interval.Databas
 	return db
 }
 
+// mineTarget identifies what one mine runs over: the (possibly
+// windowed) database and partition, plus the dataset coordinates that
+// make the snapshot content-addressable for remote workers. whole is
+// true only when db is the dataset's full stored snapshot — windowed
+// sub-databases are not addressable by (name, version) alone and always
+// mine locally.
+type mineTarget struct {
+	db    *interval.Database
+	part  *shard.Partition
+	name  string
+	ver   uint64
+	whole bool
+}
+
 // mineCoordinator returns the scatter-gather coordinator for the
-// dataset when its partition holds at least two shards, nil otherwise
-// (serial mining). The coordinator's merge reproduces the serial
-// miner's results exactly, so routing through it never changes a
-// response, cache entry, or ETag.
-func (s *Server) mineCoordinator(db *interval.Database, part *shard.Partition) *shard.Coordinator {
-	if part == nil || part.NumShards() < 2 {
+// target when its partition holds at least two shards, nil otherwise
+// (serial mining). With a worker pool and a whole-dataset target the
+// shards go to remote workers (each wrapped in exact local failover);
+// either way the coordinator's merge reproduces the serial miner's
+// results exactly, so routing through it never changes a response,
+// cache entry, or ETag.
+func (s *Server) mineCoordinator(t mineTarget) *shard.Coordinator {
+	if t.part == nil || t.part.NumShards() < 2 {
 		return nil
 	}
-	co := shard.NewLocal(db, part)
+	var co *shard.Coordinator
+	if s.pool != nil && t.whole {
+		co = s.pool.Coordinator(t.name, t.ver, t.db, t.part)
+	} else {
+		co = shard.NewLocal(t.db, t.part)
+	}
 	co.Met = s.met.shard
 	return co
 }
@@ -1464,7 +1577,7 @@ func (s *Server) mineCoordinator(db *interval.Database, part *shard.Partition) *
 // reports whether the result is the full deterministic answer for
 // (dataset version, options) — truncated runs are not, and must never
 // be cached or carry an ETag.
-func (s *Server) runMine(base context.Context, db *interval.Database, part *shard.Partition, name, ptype string, req MineSpec) (resp *MineResponse, complete bool, err error) {
+func (s *Server) runMine(base context.Context, tgt mineTarget, ptype string, req MineSpec) (resp *MineResponse, complete bool, err error) {
 	ctx, cancel := s.mineContext(base, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
@@ -1477,8 +1590,9 @@ func (s *Server) runMine(base context.Context, db *interval.Database, part *shar
 	}
 
 	mineStart := time.Now()
-	resp = &MineResponse{Dataset: name, Type: ptype}
-	co := s.mineCoordinator(db, part)
+	resp = &MineResponse{Dataset: tgt.name, Type: ptype}
+	db := tgt.db
+	co := s.mineCoordinator(tgt)
 	var st core.Stats
 	switch ptype {
 	case "temporal":
@@ -1556,7 +1670,7 @@ type WireRule struct {
 
 // runRules executes one rules job: mine temporal patterns under a slot
 // and the job context, then derive scored rules.
-func (s *Server) runRules(base context.Context, db *interval.Database, part *shard.Partition, req MineSpec) ([]WireRule, error) {
+func (s *Server) runRules(base context.Context, tgt mineTarget, req MineSpec) ([]WireRule, error) {
 	ctx, cancel := s.mineContext(base, req.TimeoutMillis)
 	defer cancel()
 	release, err := s.acquireMineSlot(ctx, req.TimeoutMillis)
@@ -1575,16 +1689,16 @@ func (s *Server) runRules(base context.Context, db *interval.Database, part *sha
 		rs []pattern.TemporalResult
 		st core.Stats
 	)
-	if co := s.mineCoordinator(db, part); co != nil {
+	if co := s.mineCoordinator(tgt); co != nil {
 		rs, st, err = co.MineTemporal(ctx, opt)
 	} else {
-		rs, st, err = core.MineTemporalCtx(ctx, db, opt)
+		rs, st, err = core.MineTemporalCtx(ctx, tgt.db, opt)
 	}
 	s.recordMineRun("rules", st, time.Since(mineStart), err)
 	if err != nil {
 		return nil, err
 	}
-	derived, err := rules.Derive(rs, db, rules.Options{
+	derived, err := rules.Derive(rs, tgt.db, rules.Options{
 		MinConfidence: req.MinConfidence,
 		MinLift:       req.MinLift,
 	})

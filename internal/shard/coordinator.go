@@ -52,6 +52,17 @@ func NewLocal(db *interval.Database, p *Partition) *Coordinator {
 	return c
 }
 
+// NewWithWorkers builds a coordinator over explicit workers — the hook
+// for registry-aware construction, where a pool picks a remote or local
+// worker per shard. sizes must hold each worker's shard sequence count;
+// the slices are adopted, not copied.
+func NewWithWorkers(workers []Worker, sizes []int) *Coordinator {
+	if len(workers) != len(sizes) {
+		panic("shard: NewWithWorkers: workers and sizes length mismatch")
+	}
+	return &Coordinator{Workers: workers, Sizes: sizes}
+}
+
 // LocalBound is the partition-aware local support bound: shard i of
 // shardSeqs sequences (out of totalSeqs) mines completely at
 // max(1, ceil(minCount·shardSeqs/totalSeqs)). Soundness: if a pattern
@@ -108,7 +119,9 @@ func (c *Coordinator) shardOpt(opt core.Options, kind Kind, bound int) core.Opti
 // goroutine to finish before returning — also on error and on context
 // cancellation, so no goroutine outlives the call. The first failure
 // cancels the shared context; a real error is preferred over the
-// resulting cancellations when reporting.
+// resulting cancellations when reporting. Failures are wrapped with the
+// shard index and worker address so a distributed mine names which
+// machine broke; Unwrap keeps errors.Is/As matching on the cause.
 func (c *Coordinator) fanOut(ctx context.Context, f func(ctx context.Context, i int) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -119,7 +132,7 @@ func (c *Coordinator) fanOut(ctx context.Context, f func(ctx context.Context, i 
 		go func(i int) {
 			defer wg.Done()
 			if err := f(ctx, i); err != nil {
-				errs[i] = err
+				errs[i] = &ShardError{Shard: i, Worker: WorkerAddr(c.Workers[i]), Err: err}
 				cancel()
 			}
 		}(i)
@@ -255,7 +268,7 @@ func (c *Coordinator) mergeTemporal(ctx context.Context, resps []*MineShardRespo
 			return err
 		}
 		if len(resp.Supports) != len(missing[i]) {
-			return fmt.Errorf("shard %d: count returned %d supports for %d patterns", i, len(resp.Supports), len(missing[i]))
+			return fmt.Errorf("count returned %d supports for %d patterns", len(resp.Supports), len(missing[i]))
 		}
 		counts[i] = resp.Supports
 		return nil
@@ -331,7 +344,7 @@ func (c *Coordinator) mergeCoinc(ctx context.Context, resps []*MineShardResponse
 			return err
 		}
 		if len(resp.Supports) != len(missing[i]) {
-			return fmt.Errorf("shard %d: count returned %d supports for %d patterns", i, len(resp.Supports), len(missing[i]))
+			return fmt.Errorf("count returned %d supports for %d patterns", len(resp.Supports), len(missing[i]))
 		}
 		counts[i] = resp.Supports
 		return nil

@@ -1,0 +1,38 @@
+package shard
+
+import "fmt"
+
+// Addressed is implemented by workers that can name where they run, so
+// fan-out failures identify the machine at fault. LocalWorker reports
+// "local"; the remote client reports its base URL.
+type Addressed interface {
+	WorkerAddr() string
+}
+
+// WorkerAddr returns w's address, or "unknown" for workers that do not
+// implement Addressed.
+func WorkerAddr(w Worker) string {
+	if a, ok := w.(Addressed); ok {
+		return a.WorkerAddr()
+	}
+	return "unknown"
+}
+
+// WorkerAddr identifies the in-process worker in wrapped fan-out errors.
+func (w *LocalWorker) WorkerAddr() string { return "local" }
+
+// ShardError attributes a fan-out failure to the shard and worker that
+// produced it, so a distributed failure is diagnosable from the log line
+// or error envelope alone. Unwrap preserves errors.Is/As matching on the
+// underlying cause (context.DeadlineExceeded, *remote.RPCError, ...).
+type ShardError struct {
+	Shard  int
+	Worker string
+	Err    error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (worker %s): %v", e.Shard, e.Worker, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }

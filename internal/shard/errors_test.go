@@ -1,0 +1,73 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/shard"
+	"tpminer/internal/shard/workertest"
+)
+
+// failingWorker errors on every call and names itself.
+type failingWorker struct{ err error }
+
+func (w *failingWorker) Mine(context.Context, *shard.MineShardRequest) (*shard.MineShardResponse, error) {
+	return nil, w.err
+}
+func (w *failingWorker) Count(context.Context, *shard.CountRequest) (*shard.CountResponse, error) {
+	return nil, w.err
+}
+func (w *failingWorker) WorkerAddr() string { return "http://worker-7:9090" }
+
+// TestFanOutErrorAttribution: a fan-out failure names the shard and the
+// worker, and still unwraps to the root cause.
+func TestFanOutErrorAttribution(t *testing.T) {
+	db := workertest.DB()
+	part := shard.New(db, 2, 1)
+	cause := errors.New("connection refused")
+	co := shard.NewWithWorkers([]shard.Worker{
+		shard.NewLocalWorker(part.SubDatabase(db, 0)),
+		&failingWorker{err: cause},
+	}, []int{len(part.Seqs(0)), len(part.Seqs(1))})
+
+	_, _, err := co.MineTemporal(context.Background(), core.Options{MinCount: 2})
+	if err == nil {
+		t.Fatal("fan-out with a failing worker succeeded")
+	}
+	var se *shard.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a ShardError: %v", err)
+	}
+	if se.Shard != 1 || se.Worker != "http://worker-7:9090" {
+		t.Errorf("attributed to shard %d worker %q, want shard 1 worker http://worker-7:9090", se.Shard, se.Worker)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("wrapped error lost the root cause: %v", err)
+	}
+	if want := "shard 1 (worker http://worker-7:9090): connection refused"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+// TestWorkerAddrFallback: non-Addressed workers report "unknown",
+// LocalWorker reports "local".
+func TestWorkerAddrFallback(t *testing.T) {
+	if got := shard.WorkerAddr(shard.NewLocalWorker(workertest.DB())); got != "local" {
+		t.Errorf("LocalWorker addr = %q, want local", got)
+	}
+	if got := shard.WorkerAddr(anonymousWorker{}); got != "unknown" {
+		t.Errorf("anonymous worker addr = %q, want unknown", got)
+	}
+}
+
+type anonymousWorker struct{}
+
+func (anonymousWorker) Mine(context.Context, *shard.MineShardRequest) (*shard.MineShardResponse, error) {
+	return nil, errors.New("unused")
+}
+func (anonymousWorker) Count(context.Context, *shard.CountRequest) (*shard.CountResponse, error) {
+	return nil, errors.New("unused")
+}

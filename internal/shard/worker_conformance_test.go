@@ -1,0 +1,20 @@
+package shard_test
+
+import (
+	"testing"
+
+	"tpminer/internal/interval"
+	"tpminer/internal/shard"
+	"tpminer/internal/shard/workertest"
+)
+
+// TestLocalWorkerConformance pins LocalWorker — the reference
+// implementation every transport is measured against — to the Worker
+// contract itself.
+func TestLocalWorkerConformance(t *testing.T) {
+	workertest.Run(t, workertest.Factory{
+		New: func(t *testing.T, db *interval.Database) shard.Worker {
+			return shard.NewLocalWorker(db)
+		},
+	})
+}

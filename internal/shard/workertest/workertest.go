@@ -1,0 +1,281 @@
+// Package workertest is the shared conformance suite every shard.Worker
+// implementation must pass. It pins the contract the coordinator's
+// exactness proof leans on — determinism across repeated calls, exact
+// local counting consistent with mining, prompt context-cancellation
+// propagation, stats that survive the transport — so a new transport
+// (the remote HTTP client, a decorator) proves itself by running one
+// function against a known database instead of re-deriving the contract
+// from the merge algebra.
+package workertest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tpminer/internal/core"
+	"tpminer/internal/interval"
+	"tpminer/internal/pattern"
+	"tpminer/internal/shard"
+)
+
+// Factory builds workers for one implementation under test.
+type Factory struct {
+	// New returns a worker mining exactly db. Called once per subtest;
+	// cleanup belongs on t.Cleanup.
+	New func(t *testing.T, db *interval.Database) shard.Worker
+}
+
+// DB builds the deterministic 12-sequence database the suite mines.
+// Exported so transport tests can assert against the same data.
+func DB() *interval.Database {
+	db := &interval.Database{}
+	for s := 0; s < 12; s++ {
+		seq := interval.Sequence{ID: fmt.Sprintf("s%02d", s)}
+		// Every sequence holds A and B overlapping; even sequences add
+		// a C after them, and every third sequence doubles up A — so
+		// the database yields patterns at several supports, with
+		// repeated-symbol occurrences exercising the raw/normalized
+		// distinction.
+		seq.Intervals = append(seq.Intervals,
+			interval.Interval{Symbol: "A", Start: 0, End: 10},
+			interval.Interval{Symbol: "B", Start: 5, End: 15},
+		)
+		if s%2 == 0 {
+			seq.Intervals = append(seq.Intervals, interval.Interval{Symbol: "C", Start: 20, End: 30})
+		}
+		if s%3 == 0 {
+			seq.Intervals = append(seq.Intervals, interval.Interval{Symbol: "A", Start: 40, End: 50})
+		}
+		db.Sequences = append(db.Sequences, seq)
+	}
+	return db
+}
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, f Factory) {
+	t.Run("MineTemporalDeterministic", func(t *testing.T) { testMineDeterministic(t, f, shard.KindTemporal) })
+	t.Run("MineCoincidenceDeterministic", func(t *testing.T) { testMineDeterministic(t, f, shard.KindCoincidence) })
+	t.Run("MineMatchesLocal", func(t *testing.T) { testMineMatchesLocal(t, f) })
+	t.Run("MineTopK", func(t *testing.T) { testMineTopK(t, f) })
+	t.Run("MineUnknownKind", func(t *testing.T) { testUnknownKind(t, f) })
+	t.Run("CountMatchesMine", func(t *testing.T) { testCountMatchesMine(t, f) })
+	t.Run("CountParallelToRequest", func(t *testing.T) { testCountShape(t, f) })
+	t.Run("StatsFold", func(t *testing.T) { testStatsFold(t, f) })
+	t.Run("MineCancellation", func(t *testing.T) { testCancellation(t, f, false) })
+	t.Run("CountCancellation", func(t *testing.T) { testCancellation(t, f, true) })
+}
+
+func mineReq(kind shard.Kind) *shard.MineShardRequest {
+	return &shard.MineShardRequest{
+		Shard: 0,
+		Kind:  kind,
+		Opt:   core.Options{MinCount: 2, KeepOccurrences: kind == shard.KindTemporal},
+	}
+}
+
+// testMineDeterministic: two identical calls return identical patterns,
+// supports, and search counters. Elapsed is wall time and exempt.
+func testMineDeterministic(t *testing.T, f Factory, kind shard.Kind) {
+	w := f.New(t, DB())
+	ctx := context.Background()
+	a, err := w.Mine(ctx, mineReq(kind))
+	if err != nil {
+		t.Fatalf("mine #1: %v", err)
+	}
+	b, err := w.Mine(ctx, mineReq(kind))
+	if err != nil {
+		t.Fatalf("mine #2: %v", err)
+	}
+	a.Stats.Elapsed, b.Stats.Elapsed = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated mine differs:\n#1: %+v\n#2: %+v", a, b)
+	}
+	if kind == shard.KindTemporal && len(a.Temporal) == 0 {
+		t.Fatal("temporal mine found nothing; suite database is broken")
+	}
+	if kind == shard.KindCoincidence && len(a.Coinc) == 0 {
+		t.Fatal("coincidence mine found nothing; suite database is broken")
+	}
+}
+
+// testMineMatchesLocal: whatever the transport, the response must be
+// exactly the LocalWorker's over the same database — the property the
+// coordinator's merge correctness rests on.
+func testMineMatchesLocal(t *testing.T, f Factory) {
+	db := DB()
+	w := f.New(t, db)
+	ref := shard.NewLocalWorker(db)
+	ctx := context.Background()
+	for _, kind := range []shard.Kind{shard.KindTemporal, shard.KindCoincidence} {
+		got, err := w.Mine(ctx, mineReq(kind))
+		if err != nil {
+			t.Fatalf("%s: mine: %v", kind, err)
+		}
+		want, err := ref.Mine(ctx, mineReq(kind))
+		if err != nil {
+			t.Fatalf("%s: reference mine: %v", kind, err)
+		}
+		got.Stats.Elapsed, want.Stats.Elapsed = 0, 0
+		if len(got.Temporal) != len(want.Temporal) || len(got.Coinc) != len(want.Coinc) {
+			t.Fatalf("%s: %d temporal / %d coinc results, want %d / %d",
+				kind, len(got.Temporal), len(got.Coinc), len(want.Temporal), len(want.Coinc))
+		}
+		for i := range want.Temporal {
+			if got.Temporal[i].Support != want.Temporal[i].Support ||
+				got.Temporal[i].Pattern.Key() != want.Temporal[i].Pattern.Key() {
+				t.Errorf("%s: temporal result %d differs: got %v(%d), want %v(%d)", kind, i,
+					got.Temporal[i].Pattern, got.Temporal[i].Support,
+					want.Temporal[i].Pattern, want.Temporal[i].Support)
+			}
+		}
+		for i := range want.Coinc {
+			if got.Coinc[i].Support != want.Coinc[i].Support ||
+				got.Coinc[i].Pattern.Key() != want.Coinc[i].Pattern.Key() {
+				t.Errorf("%s: coincidence result %d differs", kind, i)
+			}
+		}
+	}
+}
+
+// testMineTopK: the top-k path works and honors k.
+func testMineTopK(t *testing.T, f Factory) {
+	w := f.New(t, DB())
+	req := mineReq(shard.KindTemporal)
+	req.TopK = 2
+	resp, err := w.Mine(context.Background(), req)
+	if err != nil {
+		t.Fatalf("top-k mine: %v", err)
+	}
+	if len(resp.Temporal) == 0 || len(resp.Temporal) > 2 {
+		t.Errorf("top-2 mine returned %d results", len(resp.Temporal))
+	}
+}
+
+// testUnknownKind: a bogus kind is an error, not silence.
+func testUnknownKind(t *testing.T, f Factory) {
+	w := f.New(t, DB())
+	req := mineReq(shard.Kind("nonsense"))
+	if _, err := w.Mine(context.Background(), req); err == nil {
+		t.Error("mine with unknown kind succeeded")
+	}
+	creq := &shard.CountRequest{Shard: 0, Kind: shard.Kind("nonsense")}
+	if _, err := w.Count(context.Background(), creq); err == nil {
+		t.Error("count with unknown kind succeeded")
+	}
+}
+
+// testCountMatchesMine: counting a mined pattern must report the same
+// support mining did — the identity support completion depends on.
+func testCountMatchesMine(t *testing.T, f Factory) {
+	w := f.New(t, DB())
+	ctx := context.Background()
+	mined, err := w.Mine(ctx, mineReq(shard.KindTemporal))
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	creq := &shard.CountRequest{Shard: 0, Kind: shard.KindTemporal}
+	for _, r := range mined.Temporal {
+		creq.Temporal = append(creq.Temporal, r.Pattern)
+	}
+	counted, err := w.Count(ctx, creq)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	if len(counted.Supports) != len(mined.Temporal) {
+		t.Fatalf("count returned %d supports for %d patterns", len(counted.Supports), len(mined.Temporal))
+	}
+	for i, r := range mined.Temporal {
+		if counted.Supports[i] != r.Support {
+			t.Errorf("pattern %d (%v): counted %d, mined %d", i, r.Pattern, counted.Supports[i], r.Support)
+		}
+	}
+
+	cm, err := w.Mine(ctx, mineReq(shard.KindCoincidence))
+	if err != nil {
+		t.Fatalf("coincidence mine: %v", err)
+	}
+	ccreq := &shard.CountRequest{Shard: 0, Kind: shard.KindCoincidence}
+	for _, r := range cm.Coinc {
+		ccreq.Coinc = append(ccreq.Coinc, r.Pattern)
+	}
+	ccounted, err := w.Count(ctx, ccreq)
+	if err != nil {
+		t.Fatalf("coincidence count: %v", err)
+	}
+	for i, r := range cm.Coinc {
+		if ccounted.Supports[i] != r.Support {
+			t.Errorf("coincidence pattern %d: counted %d, mined %d", i, ccounted.Supports[i], r.Support)
+		}
+	}
+}
+
+// testCountShape: an empty request counts nothing, and supports stay
+// parallel to the request slice.
+func testCountShape(t *testing.T, f Factory) {
+	w := f.New(t, DB())
+	resp, err := w.Count(context.Background(), &shard.CountRequest{Shard: 0, Kind: shard.KindTemporal})
+	if err != nil {
+		t.Fatalf("empty count: %v", err)
+	}
+	if len(resp.Supports) != 0 {
+		t.Errorf("empty count returned %d supports", len(resp.Supports))
+	}
+}
+
+// testStatsFold: the stats the coordinator folds must survive the
+// transport — a remote worker that drops Nodes or Truncated would
+// silently corrupt aggregate stats and completeness decisions.
+func testStatsFold(t *testing.T, f Factory) {
+	w := f.New(t, DB())
+	resp, err := w.Mine(context.Background(), mineReq(shard.KindTemporal))
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	if resp.Stats.Nodes == 0 {
+		t.Error("Stats.Nodes is 0 after a non-trivial mine")
+	}
+	if resp.Stats.Emitted == 0 {
+		t.Error("Stats.Emitted is 0 with results present")
+	}
+	if resp.Stats.Truncated {
+		t.Error("Stats.Truncated set without any budget in the request")
+	}
+}
+
+// testCancellation: a canceled context aborts the call with an error
+// that unwraps to context.Canceled — the coordinator's first-error-
+// cancels fan-out depends on workers honoring it promptly.
+func testCancellation(t *testing.T, f Factory, count bool) {
+	w := f.New(t, DB())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var err error
+	if count {
+		_, err = w.Count(ctx, &shard.CountRequest{
+			Shard: 0, Kind: shard.KindTemporal,
+			Temporal: []pattern.Temporal{mustMine(t, f).Temporal[0].Pattern},
+		})
+	} else {
+		_, err = w.Mine(ctx, mineReq(shard.KindTemporal))
+	}
+	if err == nil {
+		t.Fatal("call with canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+// mustMine grabs patterns to feed cancellation counts.
+func mustMine(t *testing.T, f Factory) *shard.MineShardResponse {
+	t.Helper()
+	w := f.New(t, DB())
+	resp, err := w.Mine(context.Background(), mineReq(shard.KindTemporal))
+	if err != nil || len(resp.Temporal) == 0 {
+		t.Fatalf("seed mine: %v (%d results)", err, len(resp.Temporal))
+	}
+	return resp
+}
